@@ -1,0 +1,48 @@
+package repro
+
+// One testing.B benchmark per experiment table (E1–E13, see DESIGN.md
+// section 4 and EXPERIMENTS.md). Each benchmark regenerates its table in
+// quick mode and reports rows produced; `go test -bench=. -benchmem`
+// therefore re-derives every quantitative claim of the paper at CI
+// scale. Run cmd/matchbench for the full-scale tables.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	fn, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		tab := fn(bench.Config{Quick: true, Seed: uint64(i) + 1})
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		rows += len(tab.Rows)
+		tab.Print(io.Discard)
+	}
+	b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+}
+
+func BenchmarkE1Approximation(b *testing.B) { runExperiment(b, "e1") }
+func BenchmarkE2RoundsSpace(b *testing.B)   { runExperiment(b, "e2") }
+func BenchmarkE3Baselines(b *testing.B)     { runExperiment(b, "e3") }
+func BenchmarkE4Adaptivity(b *testing.B)    { runExperiment(b, "e4") }
+func BenchmarkE5TriangleGap(b *testing.B)   { runExperiment(b, "e5") }
+func BenchmarkE6Width(b *testing.B)         { runExperiment(b, "e6") }
+func BenchmarkE7Sparsifier(b *testing.B)    { runExperiment(b, "e7") }
+func BenchmarkE8Filtering(b *testing.B)     { runExperiment(b, "e8") }
+func BenchmarkE9MapReduce(b *testing.B)     { runExperiment(b, "e9") }
+func BenchmarkE10BMatching(b *testing.B)    { runExperiment(b, "e10") }
+func BenchmarkE11Congest(b *testing.B)      { runExperiment(b, "e11") }
+func BenchmarkE12Relaxations(b *testing.B)  { runExperiment(b, "e12") }
+func BenchmarkE13Scaling(b *testing.B)      { runExperiment(b, "e13") }
+
+func BenchmarkEAblations(b *testing.B)  { runExperiment(b, "ea") }
+func BenchmarkESemiStream(b *testing.B) { runExperiment(b, "es") }

@@ -1,0 +1,48 @@
+// Command matchbench runs the experiment suite (E1–E13 of DESIGN.md) and
+// prints one table per experiment. Each table regenerates a quantitative
+// claim or figure of Ahn–Guha (SPAA 2015).
+//
+// Usage:
+//
+//	matchbench                 # run everything at full scale
+//	matchbench -quick          # CI-sized runs
+//	matchbench -exp e1,e6,e7   # selected experiments
+//	matchbench -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink experiment sizes")
+	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	if *exps == "" {
+		for _, tab := range bench.All(cfg) {
+			tab.Print(os.Stdout)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exps, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		fn, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e13)\n", id)
+			os.Exit(2)
+		}
+		tab := fn(cfg)
+		tab.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro reproduces "Access to Data and Number of Iterations:
+// Dual Primal Algorithms for Maximum Matching under Resource
+// Constraints" by Kook Jin Ahn and Sudipto Guha (SPAA 2015,
+// arXiv:1307.4359): a (1-ε)-approximation for weighted nonbipartite
+// maximum b-matching using O(p/ε) rounds of adaptive sketching and
+// O(n^(1+1/p)) central space.
+//
+// The library lives under internal/: the dual-primal solver (core), the
+// substrates it depends on (sketch, sparsify, matching, lp, oddset,
+// cover, pack, levels, stream, graph), the distributed-model simulators
+// (mapreduce, congest) and the experiment harness (bench). See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for measured results.
+//
+// The root package carries the benchmark entry points (bench_test.go):
+// one testing.B benchmark per experiment table.
+package repro

@@ -1,0 +1,112 @@
+// Kidney-exchange style workload: paired kidney donation builds a
+// nonbipartite compatibility graph — vertices are incompatible
+// (patient, donor) pairs, an edge connects two pairs whose donors can
+// each give to the other's patient, and the weight scores the combined
+// transplant quality (HLA match, age difference). A maximum weight
+// matching selects the best set of simultaneous two-way swaps.
+//
+// Real exchange pools arrive as streams of newly registered pairs and
+// re-evaluated crossmatches, far larger than one coordinator wants to
+// materialize — exactly the regime of the paper. This example generates
+// a synthetic pool (blood types with realistic frequencies, PRA
+// sensitization, match-quality weights), runs the dual-primal solver
+// under a streaming budget, and compares against exact blossom.
+//
+//	go run ./examples/kidney
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/xrand"
+)
+
+// bloodType frequencies (approximate US distribution).
+var bloodTypes = []struct {
+	name string
+	freq float64
+}{
+	{"O", 0.45}, {"A", 0.40}, {"B", 0.11}, {"AB", 0.04},
+}
+
+func drawBlood(r *xrand.RNG) string {
+	u := r.Float64()
+	acc := 0.0
+	for _, bt := range bloodTypes {
+		acc += bt.freq
+		if u < acc {
+			return bt.name
+		}
+	}
+	return "AB"
+}
+
+// compatible reports ABO compatibility donor -> patient.
+func compatible(donor, patient string) bool {
+	switch donor {
+	case "O":
+		return true
+	case "A":
+		return patient == "A" || patient == "AB"
+	case "B":
+		return patient == "B" || patient == "AB"
+	default:
+		return patient == "AB"
+	}
+}
+
+type pair struct {
+	patientBT, donorBT string
+	pra                float64 // sensitization: probability a crossmatch fails
+	quality            float64 // donor quality score in [0.5, 1]
+}
+
+func main() {
+	const nPairs = 400
+	r := xrand.New(2026)
+	pairs := make([]pair, nPairs)
+	for i := range pairs {
+		pairs[i] = pair{
+			patientBT: drawBlood(r),
+			donorBT:   drawBlood(r),
+			pra:       r.Float64() * 0.7,
+			quality:   0.5 + 0.5*r.Float64(),
+		}
+	}
+	// Build the compatibility graph: edge (i, j) iff donor_i -> patient_j
+	// and donor_j -> patient_i are both ABO-compatible and pass the
+	// simulated crossmatch. Weight = combined quality (scaled to >= 1).
+	g := graph.New(nPairs)
+	for i := 0; i < nPairs; i++ {
+		for j := i + 1; j < nPairs; j++ {
+			pi, pj := pairs[i], pairs[j]
+			if !compatible(pi.donorBT, pj.patientBT) || !compatible(pj.donorBT, pi.patientBT) {
+				continue
+			}
+			if r.Bernoulli(pi.pra) || r.Bernoulli(pj.pra) {
+				continue // positive crossmatch
+			}
+			w := 1 + 10*(pi.quality+pj.quality)
+			g.MustAddEdge(i, j, w)
+		}
+	}
+	fmt.Printf("pool: %d pairs, %d feasible two-way swaps\n", g.N(), g.M())
+
+	res, err := core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dual-primal: %d swaps selected, total quality %.1f\n", res.Matching.Size(), res.Weight)
+	fmt.Printf("resources: %d+%d rounds, peak %d sampled swaps held centrally (of %d total)\n",
+		res.Stats.InitRounds, res.Stats.SamplingRounds, res.Stats.PeakSampleEdges, g.M())
+
+	_, opt := matching.MaxWeightMatchingFloat(g, false)
+	fmt.Printf("exact optimum %.1f -> ratio %.4f\n", opt, res.Weight/opt)
+
+	transplants := 2 * res.Matching.Size()
+	fmt.Printf("=> %d patients transplanted via two-way exchange\n", transplants)
+}

@@ -1,0 +1,36 @@
+// Quickstart: solve a (1-ε)-approximate maximum weight matching on a
+// random nonbipartite graph with the dual-primal solver, then check the
+// answer against the exact blossom algorithm.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+func main() {
+	// A random weighted nonbipartite graph: 120 vertices, 1000 edges,
+	// weights uniform in [1, 50].
+	g := graph.GNM(120, 1000, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 50}, 7)
+
+	// Solve with eps = 1/4 and space exponent p = 2 (central space
+	// ~ n^{3/2} edge words, O(p/eps) sampling rounds).
+	res, err := core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dual-primal matching: %d edges, weight %.2f\n", res.Matching.Size(), res.Weight)
+	fmt.Printf("resource usage: %d init + %d sampling rounds, peak %d sampled edges, %d oracle uses\n",
+		res.Stats.InitRounds, res.Stats.SamplingRounds,
+		res.Stats.PeakSampleEdges, res.Stats.OracleUses)
+
+	// Exact optimum for reference (O(n^3) blossom — fine at this size).
+	_, opt := matching.MaxWeightMatchingFloat(g, false)
+	fmt.Printf("exact optimum %.2f -> ratio %.4f (target >= %.2f)\n", opt, res.Weight/opt, 1-0.25)
+}

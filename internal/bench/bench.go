@@ -1,0 +1,132 @@
+// Package bench implements the experiment harness: one runner per
+// experiment in the index of DESIGN.md (E1–E13), each regenerating a
+// quantitative claim or figure of the paper as a printable table. The
+// cmd/matchbench binary and the repository-root testing.B benchmarks are
+// thin wrappers around these runners.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fr formats a ratio.
+func fr(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// d formats an int.
+func d(v int) string { return fmt.Sprintf("%d", v) }
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks sizes for CI / testing.B use.
+	Quick bool
+	// Seed is the base seed.
+	Seed uint64
+}
+
+// All runs every experiment and returns the tables in order.
+func All(cfg Config) []Table {
+	return []Table{
+		E1Approximation(cfg),
+		E2RoundsSpace(cfg),
+		E3Baselines(cfg),
+		E4Adaptivity(cfg),
+		E5TriangleGap(cfg),
+		E6Width(cfg),
+		E7Sparsifier(cfg),
+		E8Filtering(cfg),
+		E9MapReduce(cfg),
+		E10BMatching(cfg),
+		E11Congest(cfg),
+		E12Relaxations(cfg),
+		E13Scaling(cfg),
+		EAblations(cfg),
+		ESemiStream(cfg),
+	}
+}
+
+// ByID returns the experiment runner for an id like "e7".
+func ByID(id string) (func(Config) Table, bool) {
+	m := map[string]func(Config) Table{
+		"e1": E1Approximation, "e2": E2RoundsSpace, "e3": E3Baselines,
+		"e4": E4Adaptivity, "e5": E5TriangleGap, "e6": E6Width,
+		"e7": E7Sparsifier, "e8": E8Filtering, "e9": E9MapReduce,
+		"e10": E10BMatching, "e11": E11Congest, "e12": E12Relaxations,
+		"e13": E13Scaling,
+		"ea":  EAblations, "es": ESemiStream,
+	}
+	fn, ok := m[strings.ToLower(id)]
+	return fn, ok
+}
+
+// timeIt measures the wall time of fn.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

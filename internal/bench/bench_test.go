@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablePrint(t *testing.T) {
+	tab := Table{ID: "EX", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Note("hello %d", 7)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"EX", "demo", "a", "bb", "1", "2", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"e1", "E5", "e13"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Fatal("bogus id accepted")
+	}
+}
+
+// Each experiment must run in quick mode and produce at least one row.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Quick: true, Seed: 5}
+	for _, tab := range All(cfg) {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+		if tab.ID == "" || tab.Title == "" || len(tab.Columns) == 0 {
+			t.Errorf("%s metadata incomplete", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s row width %d vs %d columns", tab.ID, len(row), len(tab.Columns))
+			}
+		}
+	}
+}
+
+// Fast experiments must run even in -short mode to keep the harness
+// covered by the default CI loop.
+func TestFastExperimentsShort(t *testing.T) {
+	for _, id := range []string{"e5", "e6", "e8", "es"} {
+		fn, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tab := fn(Config{Quick: true, Seed: 3})
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/oddset"
+	"repro/internal/xrand"
+)
+
+// E5TriangleGap — the Section 1 figure: bipartite relaxation value 1+5ε
+// vs integral optimum 1 on the triangle gadget; the odd-set constraint
+// recovers integrality.
+func E5TriangleGap(cfg Config) Table {
+	t := Table{
+		ID:      "E5",
+		Title:   "triangle gadget: bipartite LP gap 1+5eps (Section 1 figure)",
+		Columns: []string{"eps", "integral-LP1", "bipartite-LP", "predicted", "gap-err"},
+	}
+	epss := []float64{0.02, 0.04, 0.06, 0.08, 0.1}
+	if cfg.Quick {
+		epss = []float64{0.05, 0.1}
+	}
+	for _, eps := range epss {
+		g := graph.TriangleGap(eps)
+		exact, st1 := lp.MatchingLP1(g)
+		frac, st2 := lp.BipartiteRelaxation(g)
+		if st1 != lp.Optimal || st2 != lp.Optimal {
+			t.Note("eps=%g: LP status %v/%v", eps, st1, st2)
+			continue
+		}
+		pred := 1 + 5*eps
+		t.AddRow(f(eps), fr(exact), fr(frac), fr(pred), f(math.Abs(frac-pred)))
+	}
+	t.Note("expected shape: bipartite-LP = 1+5eps exactly, integral-LP1 = 1")
+	return t
+}
+
+// E6Width — width of the standard dual LP2 grows with β* (≈ n/2) while
+// the penalty dual LP4's width is bounded by the absolute constant 6.
+func E6Width(cfg Config) Table {
+	t := Table{
+		ID:      "E6",
+		Title:   "width: LP2 grows with n, LP4 <= 6 (penalty relaxation)",
+		Columns: []string{"n", "beta*", "width-LP2", "width-LP4", "LP4<=6"},
+	}
+	sizes := []int{6, 10, 14, 18}
+	if cfg.Quick {
+		sizes = []int{6, 10}
+	}
+	for _, n := range sizes {
+		g := graph.GNM(n, n*(n-1)/2, graph.WeightConfig{Mode: graph.UnitWeights}, uint64(n))
+		beta := float64(n / 2)
+		w2 := lp.WidthLP2(g, beta, 3)
+		w4 := lp.WidthLP4(g, 3)
+		t.AddRow(d(n), f(beta), fr(w2), fr(w4), yn(w4 <= 6+1e-9))
+	}
+	t.Note("expected shape: width-LP2 = beta* (linear in n); width-LP4 constant <= 6")
+	return t
+}
+
+// E12Relaxations — Theorem 22 (laminar optimal duals via uncrossing) and
+// Theorem 23 (layered LP10 within (1+eps) of LP11).
+func E12Relaxations(cfg Config) Table {
+	t := Table{
+		ID:      "E12",
+		Title:   "relaxation structure: uncrossing (Thm 22) and LP10<=(1+eps)LP11 (Thm 23)",
+		Columns: []string{"check", "instances", "pass", "max-dev"},
+	}
+	r := xrand.New(cfg.Seed + 101)
+	// Uncrossing: random weighted families become laminar with objective
+	// and coverage preserved.
+	trials := 60
+	if cfg.Quick {
+		trials = 20
+	}
+	pass := 0
+	maxDev := 0.0
+	for trial := 0; trial < trials; trial++ {
+		n := 6 + r.Intn(5)
+		fam := &oddset.WeightedFamily{X: make([]float64, n)}
+		for v := range fam.X {
+			fam.X[v] = r.Float64()
+		}
+		for s := 0; s < 4; s++ {
+			size := 3 + 2*r.Intn(2)
+			if size > n {
+				size = 3
+			}
+			perm := r.Perm(n)[:size]
+			set := append([]int(nil), perm...)
+			sortInts(set)
+			fam.Sets = append(fam.Sets, set)
+			fam.Z = append(fam.Z, 0.1+r.Float64())
+		}
+		before := fam.Objective()
+		if fam.Uncross(2000) && oddset.IsLaminar(fam.ActiveSets()) {
+			dev := math.Abs(fam.Objective() - before)
+			if dev > maxDev {
+				maxDev = dev
+			}
+			if dev < 1e-9 {
+				pass++
+			}
+		}
+	}
+	t.AddRow("uncross-laminar", d(trials), d(pass), f(maxDev))
+	// Theorem 23 on random discretized instances.
+	epsilon := 1.0 / 16
+	lpTrials := 6
+	if cfg.Quick {
+		lpTrials = 2
+	}
+	pass23 := 0
+	maxRatio := 0.0
+	for trial := 0; trial < lpTrials; trial++ {
+		g := graph.GNM(4+trial%2, 5+trial, graph.WeightConfig{Mode: graph.PowersOf, Eps: epsilon, Levels: 5}, cfg.Seed+uint64(trial))
+		bHat, st1 := lp.DiscretizedDualLP11(g)
+		bTilde, st2 := lp.LayeredDualLP10(g, epsilon, g.N())
+		if st1 != lp.Optimal || st2 != lp.Optimal || bHat <= 0 {
+			continue
+		}
+		ratio := bTilde / bHat
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+		if ratio >= 1-1e-9 && ratio <= 1+epsilon+1e-9 {
+			pass23++
+		}
+	}
+	t.AddRow("LP10-vs-LP11", d(lpTrials), d(pass23), fr(maxRatio))
+	t.Note("expected shape: all uncrossings laminar at zero deviation; LP10/LP11 in [1, 1+eps]")
+	return t
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/semistream"
+	"repro/internal/stream"
+)
+
+// semiStreamRows runs each streaming baseline on g and formats rows.
+func semiStreamRows(g *graph.Graph, opt float64, cfg Config) [][]string {
+	var rows [][]string
+	add := func(algo string, w float64, passes int) {
+		rows = append(rows, []string{d(g.N()), d(g.M()), algo, fr(w / opt), d(passes)})
+	}
+	s1 := stream.NewEdgeStream(g)
+	m1 := semistream.OnePassGreedy(s1)
+	add("one-pass-greedy", m1.Weight(g), s1.Passes())
+
+	s2 := stream.NewEdgeStream(g)
+	m2 := semistream.OnePassReplace(s2, 1)
+	add("one-pass-replace(g=1)", m2.Weight(g), s2.Passes())
+
+	s3 := stream.NewEdgeStream(g)
+	m3 := semistream.ShortAugmentPasses(s3, semistream.OnePassGreedy(s3), 6)
+	add("3-augment-passes", m3.Weight(g), s3.Passes())
+
+	res, err := core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 311})
+	if err == nil {
+		add("dual-primal(eps=1/4)", res.Weight, res.Stats.Passes)
+	}
+	return rows
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/stream"
+)
+
+// E1Approximation — Theorem 15's headline: (1-O(ε)) approximation for
+// weighted nonbipartite matching. Ratio against the exact blossom
+// optimum across ε and instance families.
+func E1Approximation(cfg Config) Table {
+	t := Table{
+		ID:      "E1",
+		Title:   "(1-eps)-approximation vs exact optimum (Theorem 15)",
+		Columns: []string{"family", "n", "m", "eps", "ratio", "1-eps", "rounds", "earlystop"},
+	}
+	type inst struct {
+		name string
+		g    *graph.Graph
+	}
+	sizes := []int{64, 128}
+	epss := []float64{0.25, 0.125}
+	if cfg.Quick {
+		sizes = []int{48}
+		epss = []float64{0.25}
+	}
+	for _, n := range sizes {
+		m := 8 * n
+		fams := []inst{
+			{"uniform-w", graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 50}, cfg.Seed+uint64(n))},
+			{"powerlaw", graph.PowerLaw(n, 12, 2.5, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 50}, cfg.Seed+uint64(n)+1)},
+			{"triangles", graph.TriangleChain(n / 3)},
+		}
+		for _, fam := range fams {
+			_, opt := matching.MaxWeightMatchingFloat(fam.g, false)
+			if opt == 0 {
+				continue
+			}
+			for _, eps := range epss {
+				res, err := core.Solve(fam.g, core.Options{Eps: eps, P: 2, Seed: cfg.Seed + 7})
+				if err != nil {
+					t.Note("%s n=%d eps=%g: %v", fam.name, n, eps, err)
+					continue
+				}
+				t.AddRow(fam.name, d(fam.g.N()), d(fam.g.M()), f(eps),
+					fr(res.Weight/opt), fr(1-eps), d(res.Stats.SamplingRounds),
+					yn(res.Stats.EarlyStopped))
+			}
+		}
+	}
+	t.Note("expected shape: ratio >= 1-eps (within noise), improving as eps shrinks")
+	return t
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// E2RoundsSpace — Theorem 15: O(p/ε) sampling rounds and O(n^(1+1/p))
+// central space.
+func E2RoundsSpace(cfg Config) Table {
+	t := Table{
+		ID:      "E2",
+		Title:   "rounds O(p/eps) and space O(n^(1+1/p)) (Theorem 15)",
+		Columns: []string{"n", "m", "p", "eps", "rounds", "primal-conv", "p/eps", "peak-space", "n^(1+1/p)", "space-ratio"},
+	}
+	sizes := []int{64, 128, 256}
+	ps := []float64{2, 3}
+	if cfg.Quick {
+		sizes = []int{64}
+		ps = []float64{2}
+	}
+	eps := 0.25
+	for _, n := range sizes {
+		m := 10 * n
+		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 20}, cfg.Seed+uint64(n))
+		for _, p := range ps {
+			res, err := core.Solve(g, core.Options{Eps: eps, P: p, Seed: cfg.Seed + 11})
+			if err != nil {
+				t.Note("n=%d p=%g: %v", n, p, err)
+				continue
+			}
+			ref := math.Pow(float64(n), 1+1/p)
+			t.AddRow(d(n), d(m), f(p), f(eps),
+				d(res.Stats.InitRounds+res.Stats.SamplingRounds),
+				d(res.Stats.RoundOfBestMatching), f(p/eps),
+				d(res.Stats.PeakSampleEdges), f(ref),
+				fr(float64(res.Stats.PeakSampleEdges)/ref))
+		}
+	}
+	t.Note("expected shape: rounds flat in n and ~linear in p/eps; space-ratio bounded by a constant (polylog factors)")
+	return t
+}
+
+// E3Baselines — dual-primal (1-ε) vs the Lattanzi et al. [25] filtering
+// O(1)-approximation and plain greedy.
+func E3Baselines(cfg Config) Table {
+	t := Table{
+		ID:      "E3",
+		Title:   "dual-primal vs filtering [25] and greedy baselines",
+		Columns: []string{"n", "m", "algo", "ratio", "rounds"},
+	}
+	sizes := []int{96, 192}
+	if cfg.Quick {
+		sizes = []int{64}
+	}
+	for _, n := range sizes {
+		m := 10 * n
+		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 60}, cfg.Seed+uint64(n)+3)
+		_, opt := matching.MaxWeightMatchingFloat(g, false)
+		if opt == 0 {
+			continue
+		}
+		gr := matching.Greedy(g)
+		t.AddRow(d(n), d(m), "greedy-1/2", fr(gr.Weight(g)/opt), "1")
+		s := stream.NewEdgeStream(g)
+		fm, fs := matching.WeightedFilter(s, 2, cfg.Seed+13, nil)
+		t.AddRow(d(n), d(m), "filtering[25]", fr(fm.Weight(g)/opt), d(fs.Rounds))
+		res, err := core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 17})
+		if err == nil {
+			t.AddRow(d(n), d(m), "dual-primal(eps=1/4)", fr(res.Weight/opt),
+				d(res.Stats.InitRounds+res.Stats.SamplingRounds))
+		}
+		if !cfg.Quick {
+			res8, err := core.Solve(g, core.Options{Eps: 0.125, P: 2, Seed: cfg.Seed + 17})
+			if err == nil {
+				t.AddRow(d(n), d(m), "dual-primal(eps=1/8)", fr(res8.Weight/opt),
+					d(res8.Stats.InitRounds+res8.Stats.SamplingRounds))
+			}
+		}
+	}
+	t.Note("expected shape: greedy ~0.5-0.9, filtering constant-factor, dual-primal tracks 1-eps using more rounds")
+	return t
+}
+
+// E4Adaptivity — Figure 1: one round of sampling supports many
+// sequential oracle uses ("access to data" vs "number of iterations").
+func E4Adaptivity(cfg Config) Table {
+	t := Table{
+		ID:      "E4",
+		Title:   "adaptivity split: sampling rounds vs sequential uses (Figure 1)",
+		Columns: []string{"n", "eps", "sampling-rounds", "oracle-uses", "uses/round", "micro-calls", "pack-iters"},
+	}
+	n := 128
+	if cfg.Quick {
+		n = 64
+	}
+	g := graph.GNM(n, 8*n, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, cfg.Seed+29)
+	for _, eps := range []float64{0.25, 0.125} {
+		if cfg.Quick && eps != 0.25 {
+			continue
+		}
+		res, err := core.Solve(g, core.Options{Eps: eps, P: 2, Seed: cfg.Seed + 31})
+		if err != nil {
+			t.Note("eps=%g: %v", eps, err)
+			continue
+		}
+		uses := res.Stats.OracleUses
+		rounds := res.Stats.SamplingRounds
+		ratio := 0.0
+		if rounds > 0 {
+			ratio = float64(uses) / float64(rounds)
+		}
+		t.AddRow(d(n), f(eps), d(rounds), d(uses), fr(ratio),
+			d(res.Stats.MicroCalls), d(res.Stats.PackIters))
+	}
+	t.Note("expected shape: uses/round ~ (1/eps)ln(gamma) >> 1 — iterations exceed data accesses")
+	return t
+}
+
+// E13Scaling — running time O(m poly(1/eps, log n)): near-linear in m.
+func E13Scaling(cfg Config) Table {
+	t := Table{
+		ID:      "E13",
+		Title:   "near-linear scaling in m (Theorem 15 running time)",
+		Columns: []string{"n", "m", "ns/edge", "slope-vs-prev"},
+	}
+	n := 128
+	ms := []int{1000, 2000, 4000, 8000}
+	if cfg.Quick {
+		n = 64
+		ms = []int{500, 1000}
+	}
+	prevPerEdge := 0.0
+	prevM := 0
+	for _, m := range ms {
+		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 20}, cfg.Seed+uint64(m))
+		elapsed := timeIt(func() {
+			_, _ = core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 37})
+		})
+		perEdge := float64(elapsed.Nanoseconds()) / float64(m)
+		slope := ""
+		if prevM > 0 {
+			// Effective exponent between consecutive sizes.
+			slope = fr(math.Log(perEdge*float64(m)/(prevPerEdge*float64(prevM))) / math.Log(float64(m)/float64(prevM)))
+		}
+		t.AddRow(d(n), d(m), f(perEdge), slope)
+		prevPerEdge, prevM = perEdge, m
+	}
+	t.Note("expected shape: slope <= 1 (the bound is an upper bound; at this scale per-round\n        n-dependent work dominates, so per-edge cost falls with m)")
+	return t
+}
+
+// coreSolveB runs the dual-primal solver with defaults for E10.
+func coreSolveB(g *graph.Graph, seed uint64) (*core.Result, error) {
+	return core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: seed})
+}

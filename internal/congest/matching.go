@@ -1,0 +1,161 @@
+package congest
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Distributed maximal b-matching in the congested clique, in the style
+// the paper sketches ("each vertex to sketch its neighborhood n^(1/p)
+// times... O(p/ε) rounds and O(n^(1/p)) size message per vertex"): each
+// round, every unsaturated vertex samples ~n^(1/p) of its surviving
+// incident edges and ships them to a coordinator (player 0), which
+// extends a greedy maximal matching and broadcasts newly saturated
+// vertices. Lemma 19/20's filtering analysis gives O(p) rounds for
+// maximal matching; weight classes (processed heaviest-first by the
+// caller) lift it to the O(1)-approximation regime.
+
+// MatchingResult reports the matched pairs and resource stats.
+type MatchingResult struct {
+	Pairs [][2]int32 // matched edges (one per multiplicity unit omitted)
+	Mults []int
+	Stats Stats
+	// MaxSampleMsgWords is the largest sampling message a (non-
+	// coordinator) vertex sent — the paper's O(n^(1/p)) quantity. The
+	// coordinator's saturation broadcasts are accounted separately in
+	// Stats.
+	MaxSampleMsgWords int
+}
+
+// MaximalMatchingClique runs the protocol on g with message budget
+// ~n^(1/p) edge words per vertex per round.
+func MaximalMatchingClique(g *graph.Graph, p float64, seed uint64, maxRounds int) MatchingResult {
+	n := g.N()
+	c := NewClique(n)
+	budget := int(math.Ceil(math.Pow(float64(n), 1/p)))
+	if budget < 2 {
+		budget = 2
+	}
+	if maxRounds == 0 {
+		maxRounds = int(4*p) + 4
+	}
+	// Per-node state (closures capture; the simulator runs nodes in
+	// parallel but each node only touches its own state and the
+	// coordinator's state is only touched by node 0).
+	resid := make([]int, n)
+	for v := range resid {
+		resid[v] = g.B(v)
+	}
+	// Residual capacities as known by each node (synced by broadcast).
+	known := make([][]int, n)
+	for v := range known {
+		known[v] = append([]int(nil), resid...)
+	}
+	// Adjacency snapshot per node.
+	inc := make([][]graph.Edge, n)
+	for _, e := range g.Edges() {
+		inc[e.U] = append(inc[e.U], e)
+		inc[e.V] = append(inc[e.V], e)
+	}
+	rngs := make([]*xrand.RNG, n)
+	for v := range rngs {
+		rngs[v] = xrand.New(seed).Split(uint64(v))
+	}
+	var pairs [][2]int32
+	var mults []int
+	maxSample := make([]int, n)
+	var selfSample []uint64 // coordinator keeps its own sample locally
+	handler := func(node, round int, inbox []Message, send func(to int, payload []uint64)) bool {
+		if round%2 == 0 {
+			// Sampling round. First apply saturation updates broadcast by
+			// the coordinator in the previous (odd) round.
+			for _, msg := range inbox {
+				if msg.From == 0 {
+					for i := 0; i+1 < len(msg.Payload); i += 2 {
+						known[node][int(msg.Payload[i])] = int(msg.Payload[i+1])
+					}
+				}
+			}
+			// Unsaturated vertices send up to `budget` surviving edges
+			// to the coordinator.
+			if known[node][node] <= 0 {
+				return false
+			}
+			var alive []graph.Edge
+			for _, e := range inc[node] {
+				if known[node][e.U] > 0 && known[node][e.V] > 0 {
+					alive = append(alive, e)
+				}
+			}
+			if len(alive) == 0 {
+				return false
+			}
+			r := rngs[node]
+			var payload []uint64
+			if len(alive) <= budget {
+				for _, e := range alive {
+					payload = append(payload, graph.KeyOf(e.U, e.V))
+				}
+			} else {
+				perm := r.Perm(len(alive))[:budget]
+				for _, pi := range perm {
+					e := alive[pi]
+					payload = append(payload, graph.KeyOf(e.U, e.V))
+				}
+			}
+			if node == 0 {
+				selfSample = payload // a node may keep its own data
+			} else {
+				if len(payload) > maxSample[node] {
+					maxSample[node] = len(payload)
+				}
+				send(0, payload)
+			}
+			return true
+		}
+		// Coordination round: node 0 extends the matching greedily and
+		// broadcasts saturation updates.
+		if node != 0 {
+			return known[node][node] > 0
+		}
+		var updates []uint64
+		work := inbox
+		if len(selfSample) > 0 {
+			work = append([]Message{{From: 0, Payload: selfSample}}, inbox...)
+			selfSample = nil
+		}
+		for _, msg := range work {
+			for _, key := range msg.Payload {
+				u, v := graph.UnKey(key)
+				cu, cv := known[0][u], known[0][v]
+				m := cu
+				if cv < m {
+					m = cv
+				}
+				if m > 0 {
+					known[0][u] -= m
+					known[0][v] -= m
+					pairs = append(pairs, [2]int32{u, v})
+					mults = append(mults, m)
+					updates = append(updates, uint64(u), uint64(known[0][u]), uint64(v), uint64(known[0][v]))
+				}
+			}
+		}
+		if len(updates) > 0 {
+			for to := 1; to < n; to++ {
+				send(to, updates)
+			}
+		}
+		return true
+	}
+	c.Run(2*maxRounds, handler)
+	maxS := 0
+	for _, v := range maxSample {
+		if v > maxS {
+			maxS = v
+		}
+	}
+	return MatchingResult{Pairs: pairs, Mults: mults, Stats: c.Stats(), MaxSampleMsgWords: maxS}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/levels"
+	"repro/internal/matching"
+	"repro/internal/sparsify"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// Options configures a Solve run.
+type Options struct {
+	// Eps is the accuracy target ε (result aims at (1-O(ε))·OPT).
+	Eps float64
+	// P is the space exponent p > 1: central space ~ n^(1+1/p), rounds
+	// O(p/ε).
+	P float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Profile selects the constant regime; nil means Practical(eps).
+	Profile *Profile
+	// MaxRounds overrides the round budget (0 = derive from profile).
+	MaxRounds int
+}
+
+// Stats reports the resource usage the paper's theorems bound.
+type Stats struct {
+	SamplingRounds  int   // adaptive access rounds (Theorem 15: O(p/ε))
+	InitRounds      int   // rounds consumed by the initial solution (Lemma 20)
+	OracleUses      int   // sequential deferred-sparsifier uses ("adaptivity at use")
+	MicroCalls      int   // MicroOracle invocations
+	PackIters       int   // inner packing iterations
+	Passes          int   // stream passes made by the simulation
+	PeakSampleEdges int   // peak sampled edges held centrally
+	DualStateWords  int   // final size of the dual state
+	UnionSizes      []int // per round: offline-solve union size
+	LambdaTrace     []float64
+	BetaTrace       []float64
+	WitnessEvents   int // MicroOracle part (i) firings
+	EarlyStopped    bool
+	// RoundOfBestMatching is the (1-based) sampling round in which the
+	// reported matching was found — the primal convergence point, usually
+	// far earlier than the dual early-stop.
+	RoundOfBestMatching int
+}
+
+// Result is the outcome of a Solve run.
+type Result struct {
+	// Matching is the best integral b-matching found (indices into the
+	// input graph's edge list, with multiplicities).
+	Matching *matching.Matching
+	// Weight is the matching's weight in original units.
+	Weight float64
+	// DualObjective is the final dual objective scaled back to original
+	// units; DualObjective/Lambda upper-bounds the optimum over the kept
+	// (non-discretization-dropped) edges when Lambda > 0.
+	DualObjective float64
+	// Lambda is the final minimum normalized coverage over kept edges.
+	Lambda float64
+	Stats  Stats
+}
+
+// CertifiedUpperBound returns the dual certificate's upper bound on the
+// optimum matching weight: (dual objective)/λ with the (1+ε)
+// discretization slack folded in. Valid (up to the weight mass dropped
+// by discretization, < m·W*/B) whenever Lambda > 0, by weak duality of
+// the layered relaxation LP10 against LP6. Returns +Inf when Lambda <= 0.
+func (r *Result) CertifiedUpperBound(eps float64) float64 {
+	if r.Lambda <= 0 {
+		return math.Inf(1)
+	}
+	return r.DualObjective / r.Lambda * (1 + eps)
+}
+
+// Solve runs the dual-primal algorithm on g.
+func Solve(g *graph.Graph, opt Options) (*Result, error) {
+	if !(opt.Eps > 0) || opt.Eps >= 0.5 {
+		return nil, errors.New("core: Eps must be in (0, 0.5)")
+	}
+	if !(opt.P > 1) {
+		return nil, errors.New("core: P must be > 1")
+	}
+	prof := Practical(opt.Eps)
+	if opt.Profile != nil {
+		prof = *opt.Profile
+	}
+	res := &Result{Matching: &matching.Matching{}}
+	if g.M() == 0 {
+		return res, nil
+	}
+	eps := opt.Eps
+	scheme, err := levels.ForGraph(g, eps)
+	if err != nil {
+		return nil, err
+	}
+	s := stream.NewEdgeStream(g)
+	acct := stream.NewSpaceAccountant()
+	rng := xrand.New(opt.Seed)
+	bOf := func(v int) int { return g.B(v) }
+	wHat := scheme.WHat
+	nl := scheme.NumLevels()
+	maxNorm := int(math.Ceil(4 / eps))
+	if prof.OddSetNormCap > 0 && maxNorm > prof.OddSetNormCap {
+		maxNorm = prof.OddSetNormCap
+	}
+	if maxNorm < 3 {
+		maxNorm = 3
+	}
+
+	// ---- Initial solution (Lemmas 12, 20, 21) ----
+	state := newDualState(scheme, g.N(), prof.ZPruneRel)
+	initRounds := buildInitialSolution(g, s, scheme, prof, eps, opt.P, rng.Split(1), acct, state)
+	res.Stats.InitRounds = initRounds
+
+	// ---- Outer loop (Algorithms 2/4) ----
+	gammaChi := math.Pow(float64(g.N()), 1/(2*opt.P))
+	if gammaChi < 2 {
+		gammaChi = 2
+	}
+	if prof.ChiOverride > 0 {
+		gammaChi = prof.ChiOverride
+	}
+	tUses := int(math.Ceil(prof.UsesPerRoundScale * math.Log(gammaChi) / eps))
+	if tUses < 1 {
+		tUses = 1
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = int(math.Ceil(prof.MaxRoundsScale*3*opt.P/eps)) + 1
+	}
+	lambda := state.Lambda(g)
+	extraPasses := 1 // λ evaluation passes not routed through the stream
+	beta := state.Objective(bOf)
+	if beta <= 0 {
+		beta = 1e-12
+	}
+	target := 1 - 3*eps
+	mKept := float64(g.M())
+	perLevelEdges := scheme.Partition(g)
+
+	bestHat := 0.0
+	// For ε >= 1/3 the certificate target 1-3ε is non-positive and any
+	// dual point satisfies it; still run at least one sampling round so a
+	// matching is produced.
+	for round := 0; round < maxRounds && (round == 0 || lambda < target); round++ {
+		acct.BeginRound()
+		res.Stats.SamplingRounds++
+		res.Stats.LambdaTrace = append(res.Stats.LambdaTrace, lambda)
+		res.Stats.BetaTrace = append(res.Stats.BetaTrace, beta)
+
+		// Outer covering parameters for this phase (Theorem 5 via
+		// Corollary 6): α from the current λ, σ = ε/(4αρo).
+		alpha := 2 * math.Log(mKept/eps) / (math.Max(lambda, 1e-9) * eps)
+		boost := prof.SigmaBoost
+		if boost <= 0 {
+			boost = 1
+		}
+		sigma := eps / (4 * alpha * prof.OuterRho) * boost
+		if sigma > 0.5 {
+			sigma = 0.5
+		}
+
+		// Promise multipliers ς_e = exp(-α(cov_e/ŵ_k - λ))/ŵ_k
+		// (max-normalized; one pass — conceptually computed by the
+		// distributed mappers from the broadcast dual state).
+		sigmaP := make([]float64, g.M())
+		s.ForEach(func(idx int, e graph.Edge) bool {
+			k, ok := scheme.Level(e.W)
+			if !ok {
+				return true
+			}
+			r := state.CoverageRatio(e.U, e.V, k)
+			sigmaP[idx] = math.Exp(-alpha*(r-lambda)) / wHat(k)
+			return true
+		})
+
+		// Sample t deferred sparsifiers, per weight level (Lemma 11: the
+		// union of per-class sparsifiers is the sparsifier we need).
+		type deferredBatch struct {
+			defs []*sparsify.Deferred
+		}
+		batches := make([]deferredBatch, tUses)
+		sampledTotal := 0
+		for q := 0; q < tUses; q++ {
+			for k, idxs := range perLevelEdges {
+				if len(idxs) == 0 {
+					continue
+				}
+				sig := make([]float64, len(idxs))
+				for li, ei := range idxs {
+					sig[li] = sigmaP[ei]
+				}
+				local := idxs
+				d, derr := sparsify.NewDeferred(g.N(), func(i int) (int32, int32) {
+					e := g.Edge(local[i])
+					return e.U, e.V
+				}, len(idxs), sig, gammaChi, sparsify.Config{
+					Xi:   prof.SparsifierXi,
+					K:    prof.SparsifierK,
+					Seed: rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
+				})
+				if derr != nil {
+					return nil, derr
+				}
+				batches[q].defs = append(batches[q].defs, d)
+				sampledTotal += d.Size()
+				_ = k
+			}
+		}
+		extraPasses++ // the sampling pass over the input
+		acct.Alloc(sampledTotal)
+		if cur := acct.Current(); cur > res.Stats.PeakSampleEdges {
+			res.Stats.PeakSampleEdges = cur
+		}
+
+		// Offline solve on the union of sampled edges (Algorithm 2 step
+		// 5); raise β on improvement (step 6).
+		union := collectUnion(batches[0].defs, perLevelEdges)
+		for q := 1; q < len(batches); q++ {
+			for idx := range collectUnion(batches[q].defs, perLevelEdges) {
+				union[idx] = true
+			}
+		}
+		unionIdx := make([]int, 0, len(union))
+		for idx := range union {
+			unionIdx = append(unionIdx, idx)
+		}
+		sort.Ints(unionIdx)
+		res.Stats.UnionSizes = append(res.Stats.UnionSizes, len(unionIdx))
+		sub := g.Subgraph(unionIdx)
+		cand, _ := matching.OfflineB(sub, matching.OfflineConfig{ExactLimit: prof.OfflineExactLimit})
+		candHat := 0.0
+		for ci, si := range cand.EdgeIdx {
+			mult := 1
+			if cand.Mult != nil {
+				mult = cand.Mult[ci]
+			}
+			if hk, ok := scheme.Level(sub.Edge(si).W); ok {
+				candHat += wHat(hk) * float64(mult)
+			}
+		}
+		if candHat > bestHat*(1+eps/8) || res.Matching.Size() == 0 && candHat > 0 {
+			res.Stats.RoundOfBestMatching = round + 1
+		}
+		if candHat > bestHat {
+			bestHat = candHat
+			// Remap subgraph edge indices back to g.
+			remap := &matching.Matching{Mult: []int{}}
+			for ci, si := range cand.EdgeIdx {
+				remap.EdgeIdx = append(remap.EdgeIdx, unionIdx[si])
+				if cand.Mult != nil {
+					remap.Mult = append(remap.Mult, cand.Mult[ci])
+				} else {
+					remap.Mult = append(remap.Mult, 1)
+				}
+			}
+			res.Matching = remap
+		}
+		if candHat > beta {
+			beta = candHat * (1 + eps)
+		}
+
+		// Sequential refinement and use of the t sparsifiers (the right
+		// half of Figure 1: no further input access).
+		for q := 0; q < tUses; q++ {
+			support := refineBatch(batches[q].defs, perLevelEdges, g, scheme, state, alpha, lambda, prof.StaleRefinement, sigmaP)
+			res.Stats.OracleUses++
+			mini := runMiniOracle(support, beta, eps, prof, bOf, wHat, nl, maxNorm)
+			res.Stats.MicroCalls += mini.microCalls
+			res.Stats.PackIters += mini.packIters
+			if mini.matchingWitness {
+				res.Stats.WitnessEvents++
+				beta *= 1 + eps
+				continue
+			}
+			if !mini.answer.isZero() {
+				state.Average(sigma, &mini.answer)
+			}
+		}
+		acct.Free(sampledTotal)
+
+		lambda = state.Lambda(g)
+		extraPasses++
+	}
+	if lambda >= target {
+		res.Stats.EarlyStopped = true
+	}
+	res.Lambda = lambda
+	res.Stats.Passes = s.Passes() + extraPasses
+	res.Stats.DualStateWords = g.N()*nl + 4*len(state.zsets)
+	res.DualObjective = scheme.Unscale(state.Objective(bOf))
+	res.Weight = res.Matching.Weight(g)
+	return res, nil
+}
+
+// collectUnion maps Deferred-local stored indices back to graph edge
+// indices using the per-level index lists (batch i corresponds to level
+// order of perLevelEdges traversal at construction).
+func collectUnion(defs []*sparsify.Deferred, perLevelEdges [][]int) map[int]bool {
+	union := map[int]bool{}
+	di := 0
+	for _, idxs := range perLevelEdges {
+		if len(idxs) == 0 {
+			continue
+		}
+		d := defs[di]
+		di++
+		for _, localIdx := range d.StoredEdges() {
+			union[idxs[localIdx]] = true
+		}
+	}
+	return union
+}
+
+// refineBatch reveals current multipliers for the stored edges of one
+// deferred batch (Definition 4's reveal step) and emits the support.
+// With stale=true (ablation) the sampling-time promise values are used
+// instead, skipping the refinement.
+func refineBatch(defs []*sparsify.Deferred, perLevelEdges [][]int, g *graph.Graph,
+	scheme *levels.Scheme, state *dualState, alpha, lambda float64,
+	stale bool, promise []float64) []supportEdge {
+
+	var support []supportEdge
+	di := 0
+	for k, idxs := range perLevelEdges {
+		if len(idxs) == 0 {
+			continue
+		}
+		d := defs[di]
+		di++
+		sp := d.Refine(func(localIdx int) float64 {
+			if stale {
+				return promise[idxs[localIdx]]
+			}
+			e := g.Edge(idxs[localIdx])
+			r := state.CoverageRatio(e.U, e.V, k)
+			return math.Exp(-alpha*(r-lambda)) / scheme.WHat(k)
+		})
+		for _, item := range sp.Items {
+			support = append(support, supportEdge{
+				u: item.U, v: item.V, k: k,
+				w:       item.Weight,
+				origIdx: idxs[item.EdgeIdx],
+			})
+		}
+	}
+	return support
+}
+
+// buildInitialSolution computes per-level maximal b-matchings by
+// filtering (Lemma 20) and installs the Lemma 21 assignment
+// x_i(k) = r·ŵ_k on saturated vertices. Returns the rounds consumed
+// (levels run conceptually in parallel: the max over levels).
+func buildInitialSolution(g *graph.Graph, s *stream.EdgeStream, scheme *levels.Scheme,
+	prof Profile, eps, p float64, rng *xrand.RNG, acct *stream.SpaceAccountant, state *dualState) int {
+
+	r := prof.RInitFactor * eps
+	parts := scheme.Partition(g)
+	maxRounds := 0
+	var entries []xEntry
+	for k, idxs := range parts {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := g.Subgraph(idxs)
+		subStream := stream.NewEdgeStream(sub)
+		m, stats := matching.MaximalBMatchingFilter(subStream, p, rng.Split(uint64(k)).Uint64(), acct)
+		if stats.Rounds > maxRounds {
+			maxRounds = stats.Rounds
+		}
+		deg := m.MatchedDegrees(sub)
+		for v := 0; v < sub.N(); v++ {
+			if deg[v] >= sub.B(v) { // saturated at level k
+				entries = append(entries, xEntry{v: int32(v), k: k, val: r * scheme.WHat(k)})
+			}
+		}
+	}
+	state.SetInit(entries)
+	for i := 0; i < maxRounds; i++ {
+		acct.BeginRound()
+	}
+	return maxRounds
+}

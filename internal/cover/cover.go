@@ -1,0 +1,168 @@
+// Package cover implements the fractional covering framework of Plotkin,
+// Shmoys and Tardos as restated in Theorem 5 of the paper, with the
+// Corollary 6 relaxation that the oracle may return any x̃ ∈ P with
+// uᵀAx̃ >= (1-ε/2)·uᵀc (or report that none exists, certifying
+// infeasibility of the covering system for the current multipliers).
+//
+// The solver is generic over the constraint system: it operates on
+// *normalized row values* r_ℓ = (Ax)_ℓ / c_ℓ and multiplier vectors
+// u_ℓ ∝ exp(-α r_ℓ), leaving the representation of x entirely to the
+// oracle (which is what lets the dual-primal core average sparse oracle
+// answers without materializing the exponentially many odd-set duals).
+package cover
+
+import (
+	"errors"
+	"math"
+)
+
+// Status reports how a Solve run ended.
+type Status int
+
+const (
+	// Solved: the row values reached λ >= 1-3ε.
+	Solved Status = iota
+	// OracleInfeasible: the oracle certified that no x ∈ P satisfies
+	// uᵀAx >= (1-ε/2)uᵀc, proving {Ax >= c, x ∈ P} infeasible.
+	OracleInfeasible
+	// IterLimit: the safety iteration cap was reached.
+	IterLimit
+)
+
+// String renders the status for logs and errors.
+func (s Status) String() string {
+	switch s {
+	case Solved:
+		return "solved"
+	case OracleInfeasible:
+		return "oracle-infeasible"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Oracle receives the multipliers u (one per row, already normalized by
+// c) and the step index. It must either return the normalized row values
+// a_ℓ = (Ax̃)_ℓ/c_ℓ of a solution x̃ ∈ P satisfying
+// Σ u_ℓ a_ℓ >= (1-ε/2) Σ u_ℓ, or ok=false certifying none exists. The
+// oracle owns the representation of x̃; the framework only averages row
+// values.
+type Oracle func(u []float64, step int) (rowValues []float64, ok bool)
+
+// Options configures the solver.
+type Options struct {
+	// Eps is the paper's ε (accuracy). Required, in (0, 1/3].
+	Eps float64
+	// Rho is the width: an upper bound on (Ax)_ℓ/c_ℓ over x ∈ P.
+	Rho float64
+	// MaxIters caps oracle calls (safety). 0 = derive from the theorem
+	// bound T = O(ρ(ε⁻² + log(1/(1-ε₀))) log M).
+	MaxIters int
+	// OnPhase, if non-nil, is called at each phase boundary with the
+	// current λ (instrumentation for experiment E4).
+	OnPhase func(iter int, lambda float64)
+}
+
+// Result carries the outcome.
+type Result struct {
+	Rows   []float64 // final normalized row values
+	Lambda float64   // min row value
+	Iters  int       // oracle invocations that returned a solution
+	Status Status
+}
+
+// Solve runs the covering framework from the initial normalized row
+// values (the theorem's Ax0 >= (1-ε0)c: all entries must be positive).
+// The weights w returned to the oracle satisfy w_ℓ ∝ exp(-α r_ℓ),
+// rescaled so max w_ℓ = 1 for numerical stability (only the direction of
+// u matters to the oracle inequality).
+func Solve(initRows []float64, oracle Oracle, opt Options) (Result, error) {
+	m := len(initRows)
+	if m == 0 {
+		return Result{Status: Solved, Lambda: math.Inf(1)}, nil
+	}
+	if !(opt.Eps > 0) || opt.Eps > 1.0/3 {
+		return Result{}, errors.New("cover: Eps must be in (0, 1/3]")
+	}
+	if !(opt.Rho > 0) {
+		return Result{}, errors.New("cover: Rho must be positive")
+	}
+	rows := append([]float64(nil), initRows...)
+	lambda := minOf(rows)
+	if lambda <= 0 {
+		return Result{}, errors.New("cover: initial solution must have all row values positive")
+	}
+	eps := opt.Eps
+	target := 1 - 3*eps
+	maxIters := opt.MaxIters
+	if maxIters == 0 {
+		// Theorem 5's T = O(ρ(ε⁻² + log(1/(1-ε0))) log(M/ε)); the hidden
+		// constant is ~64 (each oracle call advances one row by σ·ρ).
+		t := opt.Rho * (1/(eps*eps) + math.Log(1/lambda)/eps) * math.Log(float64(m)/eps)
+		maxIters = int(64*t) + 64
+	}
+	u := make([]float64, m)
+	iters := 0
+	for lambda < target {
+		// Phase: fixed α for the current λ_t.
+		lambdaT := lambda
+		alpha := 2 * math.Log(float64(m)/eps) / (lambdaT * eps)
+		sigma := eps / (4 * alpha * opt.Rho)
+		if opt.OnPhase != nil {
+			opt.OnPhase(iters, lambda)
+		}
+		phaseEnd := 2 * lambdaT
+		if phaseEnd > target {
+			phaseEnd = target
+		}
+		for lambda < phaseEnd {
+			if iters >= maxIters {
+				return Result{Rows: rows, Lambda: lambda, Iters: iters, Status: IterLimit}, nil
+			}
+			// Multipliers, rescaled so max is 1 (shift by min row).
+			minR := minOf(rows)
+			for l := range u {
+				u[l] = math.Exp(-alpha * (rows[l] - minR))
+			}
+			a, ok := oracle(u, iters)
+			if !ok {
+				return Result{Rows: rows, Lambda: lambda, Iters: iters, Status: OracleInfeasible}, nil
+			}
+			if len(a) != m {
+				return Result{}, errors.New("cover: oracle returned wrong row count")
+			}
+			for l := range rows {
+				rows[l] = (1-sigma)*rows[l] + sigma*a[l]
+			}
+			lambda = minOf(rows)
+			iters++
+		}
+	}
+	if opt.OnPhase != nil {
+		opt.OnPhase(iters, lambda)
+	}
+	return Result{Rows: rows, Lambda: lambda, Iters: iters, Status: Solved}, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CheckOracleInequality is a test helper verifying Corollary 6's oracle
+// contract on returned row values.
+func CheckOracleInequality(u, rowValues []float64, eps float64) bool {
+	lhs, rhs := 0.0, 0.0
+	for l := range u {
+		lhs += u[l] * rowValues[l]
+		rhs += u[l]
+	}
+	return lhs >= (1-eps/2)*rhs-1e-12
+}

@@ -1,0 +1,192 @@
+package cover
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// identityOracle: covering system I·x >= 1 over P = {x >= 0, Σx <= beta}.
+// The Dantzig-Wolfe oracle puts all mass on the largest multiplier.
+func identityOracle(m int, beta, eps float64) Oracle {
+	return func(u []float64, _ int) ([]float64, bool) {
+		best, sum := 0, 0.0
+		for l := range u {
+			sum += u[l]
+			if u[l] > u[best] {
+				best = l
+			}
+		}
+		if beta*u[best] < (1-eps/2)*sum {
+			return nil, false
+		}
+		a := make([]float64, m)
+		a[best] = beta
+		return a, true
+	}
+}
+
+func TestCoverIdentityFeasible(t *testing.T) {
+	const m = 8
+	eps := 0.1
+	beta := float64(m) * 1.3 // comfortably feasible
+	init := make([]float64, m)
+	for l := range init {
+		init[l] = 0.05 // x0 = (beta/m)*scaled-down start
+	}
+	res, err := Solve(init, identityOracle(m, beta, eps), Options{Eps: eps, Rho: beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Solved {
+		t.Fatalf("status %v (lambda %f after %d iters)", res.Status, res.Lambda, res.Iters)
+	}
+	if res.Lambda < 1-3*eps {
+		t.Fatalf("lambda %f below target", res.Lambda)
+	}
+}
+
+func TestCoverIdentityInfeasible(t *testing.T) {
+	const m = 8
+	eps := 0.1
+	beta := float64(m) / 2 // infeasible: cannot cover all rows
+	init := make([]float64, m)
+	for l := range init {
+		init[l] = 0.05
+	}
+	res, err := Solve(init, identityOracle(m, beta, eps), Options{Eps: eps, Rho: beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != OracleInfeasible {
+		t.Fatalf("status %v, want oracle-infeasible", res.Status)
+	}
+}
+
+func TestCoverValidatesInput(t *testing.T) {
+	if _, err := Solve([]float64{1}, nil, Options{Eps: 0, Rho: 1}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := Solve([]float64{1}, nil, Options{Eps: 0.1, Rho: 0}); err == nil {
+		t.Fatal("rho=0 accepted")
+	}
+	if _, err := Solve([]float64{0}, nil, Options{Eps: 0.1, Rho: 1}); err == nil {
+		t.Fatal("zero initial row accepted")
+	}
+}
+
+func TestCoverEmptySystem(t *testing.T) {
+	res, err := Solve(nil, nil, Options{Eps: 0.1, Rho: 1})
+	if err != nil || res.Status != Solved {
+		t.Fatalf("empty system: %v %v", res.Status, err)
+	}
+}
+
+func TestCoverIterLimit(t *testing.T) {
+	// An oracle that never improves anything hits the cap.
+	m := 4
+	stuck := func(u []float64, _ int) ([]float64, bool) {
+		a := make([]float64, m)
+		for l := range a {
+			a[l] = 0.5 // never lifts rows above 0.5
+		}
+		return a, true
+	}
+	init := []float64{0.5, 0.5, 0.5, 0.5}
+	res, err := Solve(init, stuck, Options{Eps: 0.1, Rho: 2, MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != IterLimit {
+		t.Fatalf("status %v, want iter-limit", res.Status)
+	}
+	if res.Iters != 50 {
+		t.Fatalf("iters %d", res.Iters)
+	}
+}
+
+func TestCoverMultipliersFavorLowRows(t *testing.T) {
+	// Capture the u passed to the oracle: the lowest row must get the
+	// largest multiplier.
+	var captured []float64
+	orc := func(u []float64, _ int) ([]float64, bool) {
+		if captured == nil {
+			captured = append([]float64(nil), u...)
+		}
+		return []float64{2, 2, 2}, true
+	}
+	init := []float64{0.2, 0.5, 0.9}
+	if _, err := Solve(init, orc, Options{Eps: 0.1, Rho: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if captured[0] <= captured[1] || captured[1] <= captured[2] {
+		t.Fatalf("multipliers not decreasing with row value: %v", captured)
+	}
+	if math.Abs(captured[0]-1) > 1e-12 {
+		t.Fatalf("max multiplier should be rescaled to 1, got %v", captured[0])
+	}
+}
+
+func TestCoverRandomFeasibleSystems(t *testing.T) {
+	// Random covering systems Ax >= 1 with A ∈ [0.5, 1.5]^{m×n} over the
+	// scaled simplex; large enough beta makes them feasible.
+	for seed := uint64(0); seed < 10; seed++ {
+		r := xrand.New(seed)
+		m, n := 5+int(seed%4), 4
+		A := make([][]float64, m)
+		for i := range A {
+			A[i] = make([]float64, n)
+			for j := range A[i] {
+				A[i][j] = 0.5 + r.Float64()
+			}
+		}
+		beta := 3.0
+		orc := func(u []float64, _ int) ([]float64, bool) {
+			// max_j Σ_l u_l A[l][j] * beta (mass on best column)
+			bestJ, bestV := 0, -1.0
+			for j := 0; j < n; j++ {
+				v := 0.0
+				for l := 0; l < m; l++ {
+					v += u[l] * A[l][j]
+				}
+				if v > bestV {
+					bestJ, bestV = j, v
+				}
+			}
+			sum := 0.0
+			for _, uv := range u {
+				sum += uv
+			}
+			if beta*bestV < (1-0.05)*sum {
+				return nil, false
+			}
+			a := make([]float64, m)
+			for l := 0; l < m; l++ {
+				a[l] = beta * A[l][bestJ]
+			}
+			return a, true
+		}
+		init := make([]float64, m)
+		for l := range init {
+			init[l] = 0.1
+		}
+		res, err := Solve(init, orc, Options{Eps: 0.1, Rho: 1.5 * beta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Solved {
+			t.Fatalf("seed %d: status %v lambda %f", seed, res.Status, res.Lambda)
+		}
+	}
+}
+
+func TestCheckOracleInequality(t *testing.T) {
+	u := []float64{1, 1}
+	if !CheckOracleInequality(u, []float64{1, 1}, 0.1) {
+		t.Fatal("exact cover rejected")
+	}
+	if CheckOracleInequality(u, []float64{0.1, 0.1}, 0.1) {
+		t.Fatal("bad cover accepted")
+	}
+}

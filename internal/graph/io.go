@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text I/O. Lines are "u v [w]" (weight defaults to 1); blank
+// lines and lines starting with '#' are ignored. Vertex ids are
+// non-negative integers; the graph size is 1 + the largest id seen.
+// An optional "b v capacity" line sets a vertex capacity.
+
+// ReadEdgeList parses a graph from r.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	type cap struct{ v, b int }
+	var edges []edge
+	var caps []cap
+	maxV := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if parts[0] == "b" {
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("graph: line %d: capacity line needs 'b v cap'", lineNo)
+			}
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			b, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			caps = append(caps, cap{v, b})
+			if v > maxV {
+				maxV = v
+			}
+			continue
+		}
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need 'u v [w]'", lineNo)
+		}
+		u, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		w := 1.0
+		if len(parts) >= 3 {
+			if w, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, edge{u, v, w})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := New(maxV + 1)
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range caps {
+		if c.b < 1 {
+			return nil, fmt.Errorf("graph: capacity of %d must be >= 1", c.v)
+		}
+		g.SetB(c.v, c.b)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes g in the format ReadEdgeList accepts.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# n=%d m=%d\n", g.N(), g.M())
+	for v := 0; v < g.N(); v++ {
+		if g.B(v) != 1 {
+			fmt.Fprintf(bw, "b %d %d\n", v, g.B(v))
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}

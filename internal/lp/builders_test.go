@@ -1,0 +1,206 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// exactMWMBrute computes maximum-weight matching weight by brute force.
+func exactMWMBrute(g *graph.Graph) float64 {
+	used := make([]bool, g.N())
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == g.M() {
+			return 0
+		}
+		best := rec(i + 1)
+		e := g.Edge(i)
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			if w := e.W + rec(i+1); w > best {
+				best = w
+			}
+			used[e.U], used[e.V] = false, false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func smallGraph(seed uint64) *graph.Graph {
+	r := xrand.New(seed)
+	n := 4 + r.Intn(4) // 4..7
+	m := 3 + r.Intn(8)
+	return graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 9}, seed+5)
+}
+
+func TestLP1MatchesIntegralOptimum(t *testing.T) {
+	// With all odd-set constraints, LP1 is the exact matching polytope
+	// (b = 1): the LP optimum equals the integral optimum.
+	f := func(seed uint64) bool {
+		g := smallGraph(seed)
+		v, st := MatchingLP1(g)
+		if st != Optimal {
+			return false
+		}
+		return math.Abs(v-exactMWMBrute(g)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrongDualityLP1LP2(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := smallGraph(seed)
+		p, st1 := MatchingLP1(g)
+		d, st2 := MatchingDualLP2(g)
+		if st1 != Optimal || st2 != Optimal {
+			return false
+		}
+		return math.Abs(p-d) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteRelaxationGapOnTriangle(t *testing.T) {
+	g := graph.TriangleChain(1) // one unit triangle
+	frac, st := BipartiteRelaxation(g)
+	if st != Optimal {
+		t.Fatal(st)
+	}
+	if math.Abs(frac-1.5) > 1e-7 {
+		t.Fatalf("fractional value %f, want 1.5", frac)
+	}
+	exact, st := MatchingLP1(g)
+	if st != Optimal || math.Abs(exact-1) > 1e-7 {
+		t.Fatalf("odd-set LP value %f, want 1", exact)
+	}
+}
+
+func TestBipartiteRelaxationTightOnBipartite(t *testing.T) {
+	g := graph.Bipartite(4, 4, 10, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 7}, 9)
+	frac, _ := BipartiteRelaxation(g)
+	exact, _ := MatchingLP1(g)
+	if math.Abs(frac-exact) > 1e-6 {
+		t.Fatalf("bipartite gap should vanish: %f vs %f", frac, exact)
+	}
+}
+
+func TestTriangleGapGadget(t *testing.T) {
+	// The Section 1 example: weights {1, 1, 10ε} on a triangle. The
+	// integral optimum is 1, the bipartite relaxation is exactly 1 + 5ε.
+	for _, eps := range []float64{0.02, 0.05, 0.1} {
+		g := graph.TriangleGap(eps)
+		exact, _ := MatchingLP1(g)
+		if math.Abs(exact-1) > 1e-6 {
+			t.Fatalf("eps=%f: integral LP %f, want 1", eps, exact)
+		}
+		frac, _ := BipartiteRelaxation(g)
+		if math.Abs(frac-(1+5*eps)) > 1e-6 {
+			t.Fatalf("eps=%f: bipartite relaxation %f, want %f", eps, frac, 1+5*eps)
+		}
+	}
+}
+
+func TestPenaltyLP3EqualsLP1Unweighted(t *testing.T) {
+	// The paper: "the objective function has not increased from LP1 (for
+	// wij = 1)" — and it cannot decrease because μ = 0 recovers LP1.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 4 + r.Intn(3)
+		m := 3 + r.Intn(6)
+		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UnitWeights}, seed+13)
+		v1, st1 := MatchingLP1(g)
+		v3, st3 := PenaltyPrimalLP3(g)
+		if st1 != Optimal || st3 != Optimal {
+			return false
+		}
+		return math.Abs(v1-v3) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPenaltyLP4EqualsLP2Unweighted(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 4 + r.Intn(3)
+		m := 3 + r.Intn(6)
+		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UnitWeights}, seed+17)
+		v2, st2 := MatchingDualLP2(g)
+		v4, st4 := PenaltyDualLP4(g)
+		if st2 != Optimal || st4 != Optimal {
+			return false
+		}
+		// LP4 adds constraints to a minimization, so v4 >= v2; the paper
+		// proves no increase: v4 == v2.
+		return math.Abs(v2-v4) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthSeparation(t *testing.T) {
+	// LP4's width stays <= 6 (absolute constant) at every size; LP2's
+	// width equals the objective bound β* ≈ n/2 for complete unit-weight
+	// graphs, overtaking LP4 once n >= 14.
+	for _, n := range []int{6, 10, 14, 16} {
+		g := graph.GNM(n, n*(n-1)/2, graph.WeightConfig{Mode: graph.UnitWeights}, uint64(n))
+		w4 := WidthLP4(g, 3)
+		if w4 > 6+1e-6 {
+			t.Fatalf("n=%d: LP4 width %f > 6", n, w4)
+		}
+		beta := float64(n / 2) // K_n unit weights: perfect matching
+		w2 := WidthLP2(g, beta, 3)
+		if math.Abs(w2-beta) > 1e-6 {
+			t.Fatalf("n=%d: LP2 width %f, want β=%f", n, w2, beta)
+		}
+		if n >= 14 && w2 <= w4 {
+			t.Fatalf("n=%d: width separation missing: LP2 %f <= LP4 %f", n, w2, w4)
+		}
+	}
+}
+
+func TestLayeredLP10VsLP11(t *testing.T) {
+	// Theorem 23: β̂ <= β̃ <= (1+ε)β̂ on discretized-weight graphs.
+	epsilon := 1.0 / 16
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 4 + r.Intn(2) // 4..5 (layered LP is big)
+		m := 3 + r.Intn(5)
+		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.PowersOf, Eps: epsilon, Levels: 6}, seed+23)
+		bHat, st1 := DiscretizedDualLP11(g)
+		bTilde, st2 := LayeredDualLP10(g, epsilon, g.N())
+		if st1 != Optimal || st2 != Optimal {
+			return false
+		}
+		if bTilde < bHat-1e-6 {
+			return false // restriction cannot be cheaper
+		}
+		return bTilde <= (1+epsilon)*bHat+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOddSetsEnumeration(t *testing.T) {
+	g := graph.New(5)
+	sets := OddSets(g, 5)
+	if len(sets) != 11 { // C(5,3)+C(5,5)
+		t.Fatalf("got %d odd sets, want 11", len(sets))
+	}
+	sets3 := OddSets(g, 3)
+	if len(sets3) != 10 {
+		t.Fatalf("got %d size-3 sets, want 10", len(sets3))
+	}
+}

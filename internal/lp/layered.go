@@ -1,0 +1,104 @@
+package lp
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Layered relaxation builders for Theorem 23: LP11 is the standard dual
+// on discretized weights ŵ_k = (1+ε)^k; LP10 is the layered penalty
+// variant (identical to LP5) with per-level vertex costs x_i(k), a
+// per-vertex maximum x_i, additive per-level odd-set costs z_{U,ℓ}, and
+// the width-bounding box 2x_i(k) + Σ_{ℓ≤k} Σ_{U∋i} z_{U,ℓ} <= 3ŵ_k.
+// Theorem 23 asserts β̂ <= β̃ <= (1+ε)·β̂.
+
+// edgeLevel recovers k from a weight of the form (1+eps)^k.
+func edgeLevel(w, eps float64) int {
+	return int(math.Round(math.Log(w) / math.Log1p(eps)))
+}
+
+// DiscretizedDualLP11 solves LP11 (the dual LP2 on a graph whose weights
+// are powers of (1+eps)).
+func DiscretizedDualLP11(g *graph.Graph) (float64, Status) {
+	return MatchingDualLP2(g)
+}
+
+// LayeredDualLP10 builds and solves LP10 for a graph with (1+eps)-power
+// weights. maxSetSize limits the odd sets Os (pass g.N() for all).
+func LayeredDualLP10(g *graph.Graph, epsilon float64, maxSetSize int) (float64, Status) {
+	n := g.N()
+	L := 0
+	lev := make([]int, g.M())
+	for i, e := range g.Edges() {
+		lev[i] = edgeLevel(e.W, epsilon)
+		if lev[i] > L {
+			L = lev[i]
+		}
+	}
+	nl := L + 1
+	sets := OddSets(g, maxSetSize)
+	masks := make([][]bool, len(sets))
+	for s, set := range sets {
+		masks[s] = g.SetMask(set)
+	}
+	// Variables: x_i(k) [n*nl] then x_i [n] then z_{U,l} [len(sets)*nl].
+	xik := func(i, k int) int { return i*nl + k }
+	xi := func(i int) int { return n*nl + i }
+	zul := func(s, l int) int { return n*nl + n + s*nl + l }
+	nv := n*nl + n + len(sets)*nl
+
+	obj := make([]float64, nv) // minimize => negate
+	for i := 0; i < n; i++ {
+		obj[xi(i)] = -float64(g.B(i))
+	}
+	for s, set := range sets {
+		f := math.Floor(float64(g.SetBNorm(set)) / 2)
+		for l := 0; l < nl; l++ {
+			obj[zul(s, l)] = -f
+		}
+	}
+	p := NewProblem(obj)
+	wh := func(k int) float64 { return math.Pow(1+epsilon, float64(k)) }
+	// Edge cover constraints at the edge's level.
+	for i, e := range g.Edges() {
+		k := lev[i]
+		row := make([]float64, nv)
+		row[xik(int(e.U), k)] += 1
+		row[xik(int(e.V), k)] += 1
+		for s := range sets {
+			if masks[s][e.U] && masks[s][e.V] {
+				for l := 0; l <= k; l++ {
+					row[zul(s, l)] += 1
+				}
+			}
+		}
+		p.AddGE(row, wh(k))
+	}
+	// Box constraints for every (i, k).
+	for i := 0; i < n; i++ {
+		for k := 0; k < nl; k++ {
+			row := make([]float64, nv)
+			row[xik(i, k)] = 2
+			for s := range sets {
+				if masks[s][i] {
+					for l := 0; l <= k; l++ {
+						row[zul(s, l)] += 1
+					}
+				}
+			}
+			p.AddLE(row, 3*wh(k))
+		}
+	}
+	// Layering: x_i >= x_i(k).
+	for i := 0; i < n; i++ {
+		for k := 0; k < nl; k++ {
+			row := make([]float64, nv)
+			row[xi(i)] = 1
+			row[xik(i, k)] = -1
+			p.AddGE(row, 0)
+		}
+	}
+	_, v, st := p.Solve()
+	return -v, st
+}

@@ -1,0 +1,138 @@
+// Package mapreduce provides an in-process MapReduce simulator with the
+// resource accounting the paper's model cares about: the number of
+// rounds, the peak memory of any single machine (reducer input size),
+// and the total shuffle volume. Mappers and reducers run on goroutines;
+// the shuffle is deterministic (keys are routed by hash and processed in
+// sorted order) so experiments are reproducible.
+//
+// Section 4.2 of the paper implements the sparsifier sketches in this
+// model: round 1 builds per-vertex ℓ0 sketches from the edge list, round
+// 2 collects the (small) sketches on one machine for post-processing.
+// ConnectedComponentsMR reproduces that pipeline end to end.
+package mapreduce
+
+import (
+	"sort"
+	"sync"
+)
+
+// KV is one key-value pair.
+type KV struct {
+	Key   uint64
+	Value any
+}
+
+// Mapper transforms one input pair into any number of output pairs.
+type Mapper func(in KV, emit func(KV))
+
+// Reducer receives all values for one key and emits output pairs.
+type Reducer func(key uint64, values []any, emit func(KV))
+
+// Stats accumulates resource usage across rounds.
+type Stats struct {
+	Rounds        int
+	MaxMachineKVs int   // peak reducer input size (central-memory proxy)
+	ShuffleKVs    int   // total pairs shuffled
+	RoundMaxKVs   []int // per-round peak machine load
+}
+
+// Cluster is a simulated MapReduce cluster.
+type Cluster struct {
+	Machines int
+	stats    Stats
+}
+
+// NewCluster creates a cluster with the given number of machines
+// (minimum 1).
+func NewCluster(machines int) *Cluster {
+	if machines < 1 {
+		machines = 1
+	}
+	return &Cluster{Machines: machines}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Run executes one MapReduce round and returns the reducer output.
+func (c *Cluster) Run(input []KV, mapper Mapper, reducer Reducer) []KV {
+	c.stats.Rounds++
+	// ---- map phase (parallel over machine-sized shards) ----
+	shards := c.Machines
+	perShard := (len(input) + shards - 1) / shards
+	if perShard == 0 {
+		perShard = 1
+	}
+	outs := make([][]KV, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * perShard
+		if lo >= len(input) {
+			break
+		}
+		hi := lo + perShard
+		if hi > len(input) {
+			hi = len(input)
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			var local []KV
+			for _, kv := range input[lo:hi] {
+				mapper(kv, func(out KV) { local = append(local, out) })
+			}
+			outs[s] = local
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	// ---- shuffle ----
+	groups := make(map[uint64][]any)
+	shuffled := 0
+	for _, local := range outs {
+		for _, kv := range local {
+			groups[kv.Key] = append(groups[kv.Key], kv.Value)
+			shuffled++
+		}
+	}
+	c.stats.ShuffleKVs += shuffled
+	// Machine load: keys are routed to machines by key % Machines.
+	load := make([]int, c.Machines)
+	for k, vs := range groups {
+		load[int(k%uint64(c.Machines))] += len(vs)
+	}
+	roundMax := 0
+	for _, l := range load {
+		if l > roundMax {
+			roundMax = l
+		}
+	}
+	c.stats.RoundMaxKVs = append(c.stats.RoundMaxKVs, roundMax)
+	if roundMax > c.stats.MaxMachineKVs {
+		c.stats.MaxMachineKVs = roundMax
+	}
+	// ---- reduce phase (parallel per machine, deterministic key order) ----
+	keysByMachine := make([][]uint64, c.Machines)
+	for k := range groups {
+		m := int(k % uint64(c.Machines))
+		keysByMachine[m] = append(keysByMachine[m], k)
+	}
+	outKVs := make([][]KV, c.Machines)
+	for m := 0; m < c.Machines; m++ {
+		sort.Slice(keysByMachine[m], func(i, j int) bool { return keysByMachine[m][i] < keysByMachine[m][j] })
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			var local []KV
+			for _, k := range keysByMachine[m] {
+				reducer(k, groups[k], func(out KV) { local = append(local, out) })
+			}
+			outKVs[m] = local
+		}(m)
+	}
+	wg.Wait()
+	var result []KV
+	for m := 0; m < c.Machines; m++ {
+		result = append(result, outKVs[m]...)
+	}
+	return result
+}

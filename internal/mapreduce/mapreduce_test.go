@@ -1,0 +1,115 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWordCountStyleRound(t *testing.T) {
+	c := NewCluster(4)
+	input := []KV{
+		{Key: 1, Value: 1}, {Key: 2, Value: 1}, {Key: 1, Value: 1},
+		{Key: 3, Value: 1}, {Key: 2, Value: 1}, {Key: 1, Value: 1},
+	}
+	out := c.Run(input,
+		func(in KV, emit func(KV)) { emit(in) },
+		func(key uint64, values []any, emit func(KV)) {
+			emit(KV{Key: key, Value: len(values)})
+		})
+	counts := map[uint64]int{}
+	for _, kv := range out {
+		counts[kv.Key] = kv.Value.(int)
+	}
+	if counts[1] != 3 || counts[2] != 2 || counts[3] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	st := c.Stats()
+	if st.Rounds != 1 || st.ShuffleKVs != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MaxMachineKVs < 3 {
+		t.Fatalf("max machine KVs %d", st.MaxMachineKVs)
+	}
+}
+
+func TestMultiRoundAccounting(t *testing.T) {
+	c := NewCluster(2)
+	id := func(in KV, emit func(KV)) { emit(in) }
+	first := func(key uint64, values []any, emit func(KV)) { emit(KV{Key: key, Value: values[0]}) }
+	input := []KV{{Key: 7, Value: "x"}}
+	out := c.Run(input, id, first)
+	out = c.Run(out, id, first)
+	if c.Stats().Rounds != 2 {
+		t.Fatalf("rounds %d", c.Stats().Rounds)
+	}
+	if len(out) != 1 || out[0].Key != 7 {
+		t.Fatalf("pipeline broken: %v", out)
+	}
+	if len(c.Stats().RoundMaxKVs) != 2 {
+		t.Fatalf("per-round stats missing")
+	}
+}
+
+func TestDeterministicOutputOrderPerKey(t *testing.T) {
+	// Values within a key keep mapper-shard order only within a shard;
+	// across runs with one machine the full order is deterministic.
+	c1 := NewCluster(1)
+	c2 := NewCluster(1)
+	input := []KV{{Key: 5, Value: 1}, {Key: 5, Value: 2}, {Key: 5, Value: 3}}
+	red := func(key uint64, values []any, emit func(KV)) {
+		s := 0
+		for i, v := range values {
+			s += v.(int) * (i + 1)
+		}
+		emit(KV{Key: key, Value: s})
+	}
+	id := func(in KV, emit func(KV)) { emit(in) }
+	a := c1.Run(input, id, red)
+	b := c2.Run(input, id, red)
+	if a[0].Value.(int) != b[0].Value.(int) {
+		t.Fatal("nondeterministic reduce input order on single machine")
+	}
+}
+
+func TestConnectedComponentsMR(t *testing.T) {
+	g := graph.GNM(50, 120, graph.WeightConfig{}, 91)
+	_, trueComps := g.ConnectedComponents()
+	c := NewCluster(8)
+	uf, stats := ConnectedComponentsMR(c, g, 17)
+	if uf.Components() != trueComps {
+		t.Fatalf("MR components %d, true %d", uf.Components(), trueComps)
+	}
+	if stats.Rounds != 2 {
+		t.Fatalf("rounds %d, want 2 (Section 4.2: sketches in one round, collect in one)", stats.Rounds)
+	}
+}
+
+func TestConnectedComponentsMRDisconnected(t *testing.T) {
+	g := graph.New(12)
+	for i := 0; i < 4; i++ {
+		a := 3 * i
+		g.MustAddEdge(a, a+1, 1)
+		g.MustAddEdge(a+1, a+2, 1)
+	}
+	c := NewCluster(3)
+	uf, _ := ConnectedComponentsMR(c, g, 23)
+	if uf.Components() != 4 {
+		t.Fatalf("components %d, want 4", uf.Components())
+	}
+}
+
+func TestMRSketchMemorySublinear(t *testing.T) {
+	// Round 2's single machine holds n sketches, not m edges: for a
+	// dense graph the peak per-machine load of round 2 must be far below
+	// the edge count.
+	g := graph.GNP(120, 0.5, graph.WeightConfig{}, 29)
+	c := NewCluster(16)
+	_, stats := ConnectedComponentsMR(c, g, 31)
+	if len(stats.RoundMaxKVs) != 2 {
+		t.Fatalf("rounds %d", len(stats.RoundMaxKVs))
+	}
+	if stats.RoundMaxKVs[1] > g.N() {
+		t.Fatalf("round-2 machine holds %d values for n=%d", stats.RoundMaxKVs[1], g.N())
+	}
+}

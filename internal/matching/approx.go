@@ -1,0 +1,209 @@
+package matching
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Offline approximate solvers. Algorithm 2 step 5 needs "a (1 - a3)
+// approximation to Primal restricted to these constraints" — any offline
+// matching approximation run on the union of sampled edges. The paper
+// cites Duan–Pettie [13] and Ahn–Guha [2]; we substitute exact blossom
+// (a3 = 0) below a size threshold and greedy + local augmentation above
+// it (see DESIGN.md, substitution 2).
+
+// OfflineConfig tunes the offline solver dispatch.
+type OfflineConfig struct {
+	// ExactLimit: run exact blossom when n <= ExactLimit (default 600).
+	ExactLimit int
+	// AugmentPasses: local-improvement passes for the large regime
+	// (default 3).
+	AugmentPasses int
+}
+
+func (c OfflineConfig) withDefaults() OfflineConfig {
+	if c.ExactLimit == 0 {
+		c.ExactLimit = 600
+	}
+	if c.AugmentPasses == 0 {
+		c.AugmentPasses = 3
+	}
+	return c
+}
+
+// Offline computes a high-quality matching of g (b == 1 assumed; use
+// OfflineB for capacities). Returns the matching and its weight.
+func Offline(g *graph.Graph, cfg OfflineConfig) (*Matching, float64) {
+	cfg = cfg.withDefaults()
+	if g.N() <= cfg.ExactLimit {
+		return MaxWeightMatchingFloat(g, false)
+	}
+	m := Greedy(g)
+	m = AugmentOnePass(g, m, cfg.AugmentPasses)
+	return m, m.Weight(g)
+}
+
+// OfflineB computes a high-quality uncapacitated b-matching. Small
+// instances are solved exactly by vertex splitting; large ones greedily.
+func OfflineB(g *graph.Graph, cfg OfflineConfig) (*Matching, float64) {
+	cfg = cfg.withDefaults()
+	if allUnitB(g) {
+		return Offline(g, cfg)
+	}
+	if g.TotalB() <= cfg.ExactLimit {
+		return exactBBySplitting(g)
+	}
+	m := GreedyB(g)
+	return m, m.Weight(g)
+}
+
+func allUnitB(g *graph.Graph) bool {
+	for v := 0; v < g.N(); v++ {
+		if g.B(v) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// exactBBySplitting solves maximum-weight uncapacitated b-matching
+// exactly by replacing each vertex v with b_v copies and each edge {u,v}
+// with min(b_u,b_v) highest-multiplicity-capable parallel slots between
+// distinct copy pairs. Because the b-matching is uncapacitated, an edge
+// may be used up to min(b_u, b_v) times; copy-to-copy slots realize
+// exactly that.
+func exactBBySplitting(g *graph.Graph) (*Matching, float64) {
+	offset := make([]int, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		offset[v+1] = offset[v] + g.B(v)
+	}
+	total := offset[g.N()]
+	var edges []WEdge
+	type slot struct{ origIdx int }
+	var slots []slot
+	scale := int64(1 << 20)
+	for idx, e := range g.Edges() {
+		bu, bv := g.B(int(e.U)), g.B(int(e.V))
+		c := bu
+		if bv < c {
+			c = bv
+		}
+		// Connect copy i of u to every copy of v (complete bipartite
+		// between the copy sets realizes any multiplicity up to c).
+		for i := 0; i < bu; i++ {
+			for j := 0; j < bv; j++ {
+				edges = append(edges, WEdge{
+					U: int32(offset[e.U] + i),
+					V: int32(offset[e.V] + j),
+					W: int64(e.W * float64(scale)),
+				})
+				slots = append(slots, slot{origIdx: idx})
+			}
+		}
+		_ = c
+	}
+	mate, _ := MaxWeightMatching(total, edges, false)
+	// Map copies back to original vertices and count multiplicities.
+	owner := make([]int32, total)
+	for v := 0; v < g.N(); v++ {
+		for i := offset[v]; i < offset[v+1]; i++ {
+			owner[i] = int32(v)
+		}
+	}
+	mult := make(map[uint64]int)
+	for c := 0; c < total; c++ {
+		d := mate[c]
+		if d >= 0 && int32(c) < d {
+			mult[graph.KeyOf(owner[c], owner[d])]++
+		}
+	}
+	// Choose, per pair, the heaviest original edge index.
+	bestIdx := make(map[uint64]int)
+	for i, e := range g.Edges() {
+		k := e.Key()
+		if j, ok := bestIdx[k]; !ok || g.Edge(j).W < e.W {
+			bestIdx[k] = i
+		}
+	}
+	out := Matching{Mult: []int{}}
+	w := 0.0
+	keys := make([]uint64, 0, len(mult))
+	for k := range mult {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		idx := bestIdx[k]
+		out.EdgeIdx = append(out.EdgeIdx, idx)
+		out.Mult = append(out.Mult, mult[k])
+		w += g.Edge(idx).W * float64(mult[k])
+	}
+	_ = slots
+	return &out, w
+}
+
+// AugmentOnePass improves a matching by repeated single-edge and
+// 2-augmentation moves: for each unmatched or improvable edge (u,v),
+// adding it and dropping the (at most two) conflicting matched edges when
+// that increases total weight. passes bounds the number of sweeps.
+func AugmentOnePass(g *graph.Graph, m *Matching, passes int) *Matching {
+	match := make([]int, g.N()) // edge index matched at v, or -1
+	for i := range match {
+		match[i] = -1
+	}
+	inM := make(map[int]bool)
+	for _, idx := range m.EdgeIdx {
+		e := g.Edge(idx)
+		match[e.U] = idx
+		match[e.V] = idx
+		inM[idx] = true
+	}
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.Edge(order[a]).W > g.Edge(order[b]).W })
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for _, idx := range order {
+			if inM[idx] {
+				continue
+			}
+			e := g.Edge(idx)
+			mu, mv := match[e.U], match[e.V]
+			drop := 0.0
+			if mu >= 0 {
+				drop += g.Edge(mu).W
+			}
+			if mv >= 0 && mv != mu {
+				drop += g.Edge(mv).W
+			}
+			if e.W > drop {
+				// Perform the swap.
+				if mu >= 0 {
+					eu := g.Edge(mu)
+					match[eu.U], match[eu.V] = -1, -1
+					delete(inM, mu)
+				}
+				if mv >= 0 && mv != mu {
+					ev := g.Edge(mv)
+					match[ev.U], match[ev.V] = -1, -1
+					delete(inM, mv)
+				}
+				match[e.U], match[e.V] = idx, idx
+				inM[idx] = true
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	out := &Matching{}
+	for idx := range inM {
+		out.EdgeIdx = append(out.EdgeIdx, idx)
+	}
+	sort.Ints(out.EdgeIdx)
+	return out
+}

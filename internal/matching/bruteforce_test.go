@@ -1,0 +1,82 @@
+package matching
+
+import (
+	"repro/internal/graph"
+)
+
+// bruteForceMWM computes the exact maximum-weight matching by exhaustive
+// search. Only for small test graphs (m <= ~25).
+func bruteForceMWM(g *graph.Graph) float64 {
+	used := make([]bool, g.N())
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == g.M() {
+			return 0
+		}
+		best := rec(i + 1)
+		e := g.Edge(i)
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			if w := e.W + rec(i+1); w > best {
+				best = w
+			}
+			used[e.U], used[e.V] = false, false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// bruteForceMaxCard computes the maximum cardinality of a matching.
+func bruteForceMaxCard(g *graph.Graph) int {
+	used := make([]bool, g.N())
+	var rec func(i int) int
+	rec = func(i int) int {
+		if i == g.M() {
+			return 0
+		}
+		best := rec(i + 1)
+		e := g.Edge(i)
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			if c := 1 + rec(i+1); c > best {
+				best = c
+			}
+			used[e.U], used[e.V] = false, false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// bruteForceBMatching computes the exact maximum-weight uncapacitated
+// b-matching by searching over per-edge multiplicities.
+func bruteForceBMatching(g *graph.Graph) float64 {
+	resid := make([]int, g.N())
+	for v := range resid {
+		resid[v] = g.B(v)
+	}
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == g.M() {
+			return 0
+		}
+		best := rec(i + 1) // multiplicity 0
+		e := g.Edge(i)
+		maxC := resid[e.U]
+		if resid[e.V] < maxC {
+			maxC = resid[e.V]
+		}
+		for c := 1; c <= maxC; c++ {
+			resid[e.U] -= c
+			resid[e.V] -= c
+			if w := float64(c)*e.W + rec(i+1); w > best {
+				best = w
+			}
+			resid[e.U] += c
+			resid[e.V] += c
+		}
+		return best
+	}
+	return rec(0)
+}

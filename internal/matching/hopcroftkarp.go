@@ -1,0 +1,118 @@
+package matching
+
+import "repro/internal/graph"
+
+// HopcroftKarp computes a maximum-cardinality matching of a bipartite
+// graph in O(E sqrt(V)). The bipartition is inferred by 2-coloring each
+// connected component; it returns ok=false if the graph is not bipartite.
+func HopcroftKarp(g *graph.Graph) (m *Matching, ok bool) {
+	n := g.N()
+	side := make([]int8, n) // 0 = unvisited, 1 = left, 2 = right
+	var stack []int
+	for s := 0; s < n; s++ {
+		if side[s] != 0 {
+			continue
+		}
+		side[s] = 1
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			bad := false
+			g.Neighbors(v, func(_ int, o int32) {
+				if side[o] == 0 {
+					side[o] = 3 - side[v]
+					stack = append(stack, int(o))
+				} else if side[o] == side[v] {
+					bad = true
+				}
+			})
+			if bad {
+				return nil, false
+			}
+		}
+	}
+	// Left vertices and adjacency (edge indices kept for output).
+	matchL := make([]int32, n) // partner vertex for left vertices
+	matchR := make([]int32, n)
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	const inf = int32(1 << 30)
+	dist := make([]int32, n)
+	var queueBuf []int32
+
+	bfs := func() bool {
+		queueBuf = queueBuf[:0]
+		for v := 0; v < n; v++ {
+			if side[v] == 1 {
+				if matchL[v] == -1 {
+					dist[v] = 0
+					queueBuf = append(queueBuf, int32(v))
+				} else {
+					dist[v] = inf
+				}
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queueBuf); qi++ {
+			v := queueBuf[qi]
+			g.Neighbors(int(v), func(_ int, o int32) {
+				w := matchR[o]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[v] + 1
+					queueBuf = append(queueBuf, w)
+				}
+			})
+		}
+		return found
+	}
+
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
+		res := false
+		g.Neighbors(int(v), func(_ int, o int32) {
+			if res {
+				return
+			}
+			w := matchR[o]
+			if w == -1 || (dist[w] == dist[v]+1 && dfs(w)) {
+				matchL[v] = o
+				matchR[o] = v
+				res = true
+			}
+		})
+		if !res {
+			dist[v] = inf
+		}
+		return res
+	}
+
+	for bfs() {
+		for v := 0; v < n; v++ {
+			if side[v] == 1 && matchL[v] == -1 {
+				dfs(int32(v))
+			}
+		}
+	}
+	// Emit edge indices.
+	out := &Matching{}
+	usedPair := make(map[uint64]bool)
+	for v := 0; v < n; v++ {
+		if side[v] == 1 && matchL[v] != -1 {
+			usedPair[graph.KeyOf(int32(v), matchL[v])] = true
+		}
+	}
+	taken := make(map[uint64]bool)
+	for idx, e := range g.Edges() {
+		k := e.Key()
+		if usedPair[k] && !taken[k] {
+			taken[k] = true
+			out.EdgeIdx = append(out.EdgeIdx, idx)
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,200 @@
+// Package matching implements the matching algorithms the paper builds on
+// or compares against:
+//
+//   - greedy maximal matching and maximal b-matching (the primitive inside
+//     Lemma 20's per-level initial solutions),
+//   - the iterative-filtering algorithm of Lattanzi, Moseley, Suri and
+//     Vassilvitskii (SPAA 2011) — the paper's O(1)-approximation baseline,
+//   - Hopcroft–Karp bipartite maximum cardinality matching,
+//   - exact maximum-weight matching on general graphs via Galil's blossom
+//     algorithm (O(n³)), used as the offline solver of Algorithm 2 step 5
+//     and as ground truth in every experiment,
+//   - an offline (1-ε)-style approximate solver that dispatches between
+//     exact blossom and greedy depending on instance size (the stand-in
+//     for Duan–Pettie [13] / Ahn–Guha [2]; see DESIGN.md substitutions).
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Matching is a set of edges of a host graph, by edge index, with
+// multiplicities (for b-matching; multiplicity is 1 in ordinary
+// matchings).
+type Matching struct {
+	EdgeIdx []int
+	Mult    []int // parallel multiplicity per selected edge (nil = all 1)
+}
+
+// Weight returns the total weight of the matching in g (multiplicities
+// included).
+func (m *Matching) Weight(g *graph.Graph) float64 {
+	t := 0.0
+	for i, idx := range m.EdgeIdx {
+		w := g.Edge(idx).W
+		if m.Mult != nil {
+			t += w * float64(m.Mult[i])
+		} else {
+			t += w
+		}
+	}
+	return t
+}
+
+// Size returns the number of matched edges counting multiplicity.
+func (m *Matching) Size() int {
+	if m.Mult == nil {
+		return len(m.EdgeIdx)
+	}
+	t := 0
+	for _, c := range m.Mult {
+		t += c
+	}
+	return t
+}
+
+// Validate checks degree feasibility: the matched degree of every vertex
+// is at most b_v. Returns an error describing the first violation.
+func (m *Matching) Validate(g *graph.Graph) error {
+	deg := make([]int, g.N())
+	for i, idx := range m.EdgeIdx {
+		if idx < 0 || idx >= g.M() {
+			return fmt.Errorf("matching: edge index %d out of range", idx)
+		}
+		c := 1
+		if m.Mult != nil {
+			c = m.Mult[i]
+			if c < 1 {
+				return fmt.Errorf("matching: non-positive multiplicity %d", c)
+			}
+		}
+		e := g.Edge(idx)
+		deg[e.U] += c
+		deg[e.V] += c
+	}
+	for v := 0; v < g.N(); v++ {
+		if deg[v] > g.B(v) {
+			return fmt.Errorf("matching: vertex %d has matched degree %d > b=%d", v, deg[v], g.B(v))
+		}
+	}
+	return nil
+}
+
+// IsMaximal reports whether no edge of g can be added to the matching
+// without violating capacities (i.e. the matching is maximal for the
+// uncapacitated b-matching problem).
+func (m *Matching) IsMaximal(g *graph.Graph) bool {
+	deg := make([]int, g.N())
+	for i, idx := range m.EdgeIdx {
+		c := 1
+		if m.Mult != nil {
+			c = m.Mult[i]
+		}
+		e := g.Edge(idx)
+		deg[e.U] += c
+		deg[e.V] += c
+	}
+	for _, e := range g.Edges() {
+		if deg[e.U] < g.B(int(e.U)) && deg[e.V] < g.B(int(e.V)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Greedy computes a maximal matching by scanning edges in descending
+// weight order, taking an edge whenever both endpoints are free. For
+// weighted graphs this is the classic 1/2-approximation.
+func Greedy(g *graph.Graph) *Matching {
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := g.Edge(order[a]), g.Edge(order[b])
+		if ea.W != eb.W {
+			return ea.W > eb.W
+		}
+		return order[a] < order[b]
+	})
+	used := make([]bool, g.N())
+	var out Matching
+	for _, idx := range order {
+		e := g.Edge(idx)
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			out.EdgeIdx = append(out.EdgeIdx, idx)
+		}
+	}
+	return &out
+}
+
+// GreedyArrival computes a maximal matching scanning edges in arrival
+// order (no sorting) — the maximal-matching primitive used on sampled
+// subsets in the filtering algorithm.
+func GreedyArrival(g *graph.Graph) *Matching {
+	used := make([]bool, g.N())
+	var out Matching
+	for idx, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			out.EdgeIdx = append(out.EdgeIdx, idx)
+		}
+	}
+	return &out
+}
+
+// GreedyB computes a maximal uncapacitated b-matching: edges are scanned
+// in descending weight order and each chosen edge's multiplicity is
+// raised to saturate an endpoint (min of the two residual capacities),
+// exactly the device of Lemma 20.
+func GreedyB(g *graph.Graph) *Matching {
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := g.Edge(order[a]), g.Edge(order[b])
+		if ea.W != eb.W {
+			return ea.W > eb.W
+		}
+		return order[a] < order[b]
+	})
+	resid := make([]int, g.N())
+	for v := range resid {
+		resid[v] = g.B(v)
+	}
+	out := Matching{Mult: []int{}}
+	for _, idx := range order {
+		e := g.Edge(idx)
+		c := resid[e.U]
+		if resid[e.V] < c {
+			c = resid[e.V]
+		}
+		if c > 0 {
+			resid[e.U] -= c
+			resid[e.V] -= c
+			out.EdgeIdx = append(out.EdgeIdx, idx)
+			out.Mult = append(out.Mult, c)
+		}
+	}
+	return &out
+}
+
+// MatchedDegrees returns the matched degree per vertex.
+func (m *Matching) MatchedDegrees(g *graph.Graph) []int {
+	deg := make([]int, g.N())
+	for i, idx := range m.EdgeIdx {
+		c := 1
+		if m.Mult != nil {
+			c = m.Mult[i]
+		}
+		e := g.Edge(idx)
+		deg[e.U] += c
+		deg[e.V] += c
+	}
+	return deg
+}

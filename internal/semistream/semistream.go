@@ -1,0 +1,183 @@
+// Package semistream implements the one-pass and few-pass matching
+// algorithms the paper positions itself against in the semi-streaming
+// model (Related Work: Feigenbaum et al. [16], McGregor [29], Zelke [39]):
+//
+//   - OnePassGreedy: maximal matching in a single pass, the classic
+//     1/2-approximation for cardinality ([16]);
+//   - OnePassReplace: McGregor's one-pass weighted algorithm — a new edge
+//     evicts its (at most two) conflicting matched edges when it is
+//     (1+γ) times heavier than their sum; 1/(3+2√2)-approximation at the
+//     optimal γ = √2, 1/6 at γ = 1 ([29], improving [16]);
+//   - ShortAugmentPasses: repeated passes that resolve length-3
+//     augmenting paths, lifting a maximal matching toward 2/3 of maximum
+//     cardinality (the engine inside McGregor's (1-ε) multi-pass scheme,
+//     truncated to length-3 augmentations).
+//
+// All functions consume a stream.EdgeStream so pass counts are measured,
+// and hold only O(n) matching state — the semi-streaming budget.
+package semistream
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/stream"
+)
+
+// OnePassGreedy returns a maximal matching built in a single pass: an
+// edge is taken iff both endpoints are currently free.
+func OnePassGreedy(s *stream.EdgeStream) *matching.Matching {
+	used := make([]bool, s.N())
+	out := &matching.Matching{}
+	s.ForEach(func(idx int, e graph.Edge) bool {
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			out.EdgeIdx = append(out.EdgeIdx, idx)
+		}
+		return true
+	})
+	return out
+}
+
+// OnePassReplace runs McGregor's replacement algorithm with parameter
+// gamma > 0: edge e replaces its conflicting matched edges C(e) when
+// w(e) >= (1+gamma)·w(C(e)).
+func OnePassReplace(s *stream.EdgeStream, gamma float64) *matching.Matching {
+	n := s.N()
+	matchEdge := make([]int, n) // edge index matched at v, or -1
+	weightAt := make([]float64, n)
+	for i := range matchEdge {
+		matchEdge[i] = -1
+	}
+	inM := make(map[int]graph.Edge)
+	s.ForEach(func(idx int, e graph.Edge) bool {
+		cu, cv := matchEdge[e.U], matchEdge[e.V]
+		conflict := 0.0
+		if cu >= 0 {
+			conflict += weightAt[e.U]
+		}
+		if cv >= 0 && cv != cu {
+			conflict += weightAt[e.V]
+		}
+		if e.W >= (1+gamma)*conflict {
+			if cu >= 0 {
+				old := inM[cu]
+				matchEdge[old.U], matchEdge[old.V] = -1, -1
+				delete(inM, cu)
+			}
+			if cv >= 0 && cv != cu {
+				old := inM[cv]
+				matchEdge[old.U], matchEdge[old.V] = -1, -1
+				delete(inM, cv)
+			}
+			matchEdge[e.U], matchEdge[e.V] = idx, idx
+			weightAt[e.U], weightAt[e.V] = e.W, e.W
+			inM[idx] = e
+		}
+		return true
+	})
+	out := &matching.Matching{}
+	for idx := range inM {
+		out.EdgeIdx = append(out.EdgeIdx, idx)
+	}
+	sortInts(out.EdgeIdx)
+	return out
+}
+
+// ShortAugmentPasses improves a matching by resolving vertex-disjoint
+// length-3 augmenting paths (free–matched–free), one extra pass per
+// round, up to maxPasses rounds or until no augmentation is found.
+// Starting from a maximal matching this converges toward a 2/3
+// approximation of maximum cardinality.
+func ShortAugmentPasses(s *stream.EdgeStream, m *matching.Matching, maxPasses int) *matching.Matching {
+	n := s.N()
+	cur := map[int]bool{}
+	for _, idx := range m.EdgeIdx {
+		cur[idx] = true
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		matchAt := make([]int, n)
+		for i := range matchAt {
+			matchAt[i] = -1
+		}
+		edgeOf := make(map[int]graph.Edge, len(cur))
+		s.ForEach(func(idx int, e graph.Edge) bool {
+			if cur[idx] {
+				matchAt[e.U] = idx
+				matchAt[e.V] = idx
+				edgeOf[idx] = e
+			}
+			return true
+		})
+		// Collect, per matched edge, one candidate wing at each endpoint:
+		// wing edges go from a free vertex to a matched endpoint.
+		type wings struct {
+			uWing, vWing   int // edge indices, -1 if none
+			uFree, vFree   int32
+			uTaken, vTaken bool
+			matched        graph.Edge
+			matchedIdx     int
+		}
+		byMatched := map[int]*wings{}
+		freeTaken := make([]bool, n)
+		s.ForEach(func(idx int, e graph.Edge) bool {
+			if cur[idx] {
+				return true
+			}
+			fu, fv := matchAt[e.U] == -1, matchAt[e.V] == -1
+			if fu == fv {
+				return true // both free (matching not maximal) or both matched
+			}
+			free, anchored := e.U, e.V
+			if fv {
+				free, anchored = e.V, e.U
+			}
+			mi := matchAt[anchored]
+			w := byMatched[mi]
+			if w == nil {
+				me := edgeOf[mi]
+				w = &wings{uWing: -1, vWing: -1, matched: me, matchedIdx: mi}
+				byMatched[mi] = w
+			}
+			if anchored == w.matched.U && w.uWing == -1 {
+				w.uWing, w.uFree = idx, free
+			} else if anchored == w.matched.V && w.vWing == -1 {
+				w.vWing, w.vFree = idx, free
+			}
+			return true
+		})
+		// Resolve: an augmenting path needs wings at both endpoints with
+		// distinct free vertices not already used this round.
+		augmented := false
+		for _, w := range byMatched {
+			if w.uWing == -1 || w.vWing == -1 || w.uFree == w.vFree {
+				continue
+			}
+			if freeTaken[w.uFree] || freeTaken[w.vFree] {
+				continue
+			}
+			freeTaken[w.uFree] = true
+			freeTaken[w.vFree] = true
+			delete(cur, w.matchedIdx)
+			cur[w.uWing] = true
+			cur[w.vWing] = true
+			augmented = true
+		}
+		if !augmented {
+			break
+		}
+	}
+	out := &matching.Matching{}
+	for idx := range cur {
+		out.EdgeIdx = append(out.EdgeIdx, idx)
+	}
+	sortInts(out.EdgeIdx)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func BenchmarkL0Update(b *testing.B) {
+	spec := NewL0Spec(xrand.New(1), 24, 12, 8)
+	sk := spec.NewL0()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Update(uint64(i)*2654435761+1, 1)
+	}
+}
+
+func BenchmarkL0Sample(b *testing.B) {
+	spec := NewL0Spec(xrand.New(2), 24, 12, 8)
+	sk := spec.NewL0()
+	for i := 0; i < 10000; i++ {
+		sk.Update(uint64(i)*2654435761+1, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Sample()
+	}
+}
+
+func BenchmarkSSparseRecover(b *testing.B) {
+	spec := NewSSparseSpec(xrand.New(3), 12, 8)
+	sk := spec.NewSSparse()
+	for i := 0; i < 10; i++ {
+		sk.Update(uint64(i)*7+1, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Recover()
+	}
+}
+
+func BenchmarkSpanningForest(b *testing.B) {
+	// Build once per iteration: bank construction dominates and is the
+	// realistic cost of the MR pipeline.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := NewIncidenceSpec(xrand.New(uint64(i)), 128, 10, 12, 8)
+		bank := spec.NewBank()
+		for v := 0; v < 127; v++ {
+			bank.AddEdge(int32(v), int32(v+1))
+		}
+		if _, _, err := bank.SpanningForest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

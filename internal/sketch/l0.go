@@ -1,0 +1,115 @@
+package sketch
+
+import "repro/internal/xrand"
+
+// L0Spec fixes the shared randomness for a family of mergeable ℓ0-sampler
+// sketches: a level hash (geometric subsampling) and per-level s-sparse
+// specs. All samplers from one spec subsample identically, so merging
+// samplers of vectors x and y yields a valid sampler of x+y.
+type L0Spec struct {
+	levels    int
+	levelHash *xrand.PolyHash
+	sspec     *SSparseSpec
+}
+
+// NewL0Spec creates a spec. universeLog should be ~log2 of the number of
+// distinct keys that may appear (levels = universeLog + 2); sparsity s
+// around 8-16 gives small failure probability per decode.
+func NewL0Spec(r *xrand.RNG, universeLog, s, rows int) *L0Spec {
+	if universeLog < 1 {
+		universeLog = 1
+	}
+	return &L0Spec{
+		levels:    universeLog + 2,
+		levelHash: xrand.NewPolyHash(r.Split(0x10), 2),
+		sspec:     NewSSparseSpec(r.Split(0x20), s, rows),
+	}
+}
+
+// Levels returns the number of subsampling levels.
+func (spec *L0Spec) Levels() int { return spec.levels }
+
+// L0 is a mergeable ℓ0-sampler: after arbitrary insertions and deletions
+// it returns some non-zero coordinate of the implicit vector (whp), with
+// the choice statistically close to uniform over the support.
+type L0 struct {
+	spec   *L0Spec
+	levels []*SSparse
+}
+
+// NewL0 returns a zeroed sampler.
+func (spec *L0Spec) NewL0() *L0 {
+	lv := make([]*SSparse, spec.levels)
+	for i := range lv {
+		lv[i] = spec.sspec.NewSSparse()
+	}
+	return &L0{spec: spec, levels: lv}
+}
+
+// Words returns the storage footprint in 64-bit words.
+func (s *L0) Words() int {
+	w := 0
+	for _, lv := range s.levels {
+		w += lv.Words()
+	}
+	return w
+}
+
+// Update adds delta at key in the implicit vector.
+func (s *L0) Update(key uint64, delta int64) {
+	maxLevel := s.spec.levelHash.Level(key, s.spec.levels-1)
+	for l := 0; l <= maxLevel; l++ {
+		s.levels[l].Update(key, delta)
+	}
+}
+
+// Merge absorbs another sampler from the same spec.
+func (s *L0) Merge(o *L0) {
+	if s.spec != o.spec {
+		panic("sketch: merging L0 samplers from different specs")
+	}
+	for i := range s.levels {
+		s.levels[i].Merge(o.levels[i])
+	}
+}
+
+// Clone returns an independent copy.
+func (s *L0) Clone() *L0 {
+	lv := make([]*SSparse, len(s.levels))
+	for i := range lv {
+		lv[i] = s.levels[i].Clone()
+	}
+	return &L0{spec: s.spec, levels: lv}
+}
+
+// Sample returns a non-zero coordinate of the implicit vector. It scans
+// from the sparsest (deepest) level down to level 0 and returns the
+// smallest-hash surviving key at the first level that decodes, which makes
+// the choice a deterministic function of the sketch randomness (required
+// for consistent reuse inside one Boruvka round). ok=false means the
+// vector is zero or recovery failed at every level (probability
+// exponentially small in the spec's rows when the vector is non-zero).
+func (s *L0) Sample() (key uint64, value int64, ok bool) {
+	for l := len(s.levels) - 1; l >= 0; l-- {
+		keys, values, dok := s.levels[l].Recover()
+		if !dok || len(keys) == 0 {
+			continue
+		}
+		best := 0
+		bestHash := s.spec.levelHash.Hash(keys[0])
+		for i := 1; i < len(keys); i++ {
+			if h := s.spec.levelHash.Hash(keys[i]); h < bestHash {
+				best, bestHash = i, h
+			}
+		}
+		return keys[best], values[best], true
+	}
+	return 0, 0, false
+}
+
+// IsZeroLikely reports whether level 0 decodes to the empty vector; exact
+// when fewer than s non-zeros remain, heuristic otherwise.
+func (s *L0) IsZeroLikely() bool {
+	keys, _, ok := s.levels[0].Recover()
+	return ok && len(keys) == 0
+}

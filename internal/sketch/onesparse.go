@@ -1,0 +1,151 @@
+// Package sketch implements the linear-sketching substrate of the paper:
+// exact 1-sparse recovery, s-sparse recovery, ℓ0-samplers supporting
+// insertions and deletions, and AGM-style vertex-incidence sketches whose
+// linear combination over a vertex set samples edges across the cut
+// (footnote 1 of the paper; Ahn–Guha–McGregor SODA'12 / PODS'12).
+//
+// All sketches are linear: Update(key, Δ) is a linear map of the implicit
+// vector, so Merge(a, b) equals the sketch of the vector sum. Keys are
+// opaque uint64 identifiers < 2^61-1 (graph pair keys with n < 2^29 fit).
+package sketch
+
+import "repro/internal/xrand"
+
+const prime = xrand.MersennePrime61
+
+// mod arithmetic helpers over GF(2^61-1).
+func addm(a, b uint64) uint64 {
+	s := a + b
+	if s >= prime {
+		s -= prime
+	}
+	return s
+}
+
+func subm(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + prime - b
+}
+
+func mulm(a, b uint64) uint64 {
+	hi, lo := mul128(a, b)
+	r := (lo & prime) + ((lo >> 61) | (hi << 3 & prime)) + (hi >> 58)
+	r = (r & prime) + (r >> 61)
+	if r >= prime {
+		r -= prime
+	}
+	return r
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid1 := t & mask
+	c1 := t >> 32
+	t = aLo*bHi + mid1
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c1 + (t >> 32)
+	return hi, lo
+}
+
+// powm computes a^e mod prime.
+func powm(a, e uint64) uint64 {
+	r := uint64(1)
+	a %= prime
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulm(r, a)
+		}
+		a = mulm(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// invm computes the multiplicative inverse mod prime (prime is prime, so
+// a^(p-2)).
+func invm(a uint64) uint64 { return powm(a, prime-2) }
+
+// toField maps a signed delta into the field.
+func toField(delta int64) uint64 {
+	if delta >= 0 {
+		return uint64(delta) % prime
+	}
+	return prime - uint64(-delta)%prime
+}
+
+// OneSparse is an exact 1-sparse recovery cell. It maintains three field
+// values — the sum of values, the sum of key·value, and a fingerprint
+// Σ value·z^key — for the implicit vector it has absorbed. If the vector
+// is exactly 1-sparse the (key, value) pair is recovered exactly; if it is
+// not, recovery fails (detected by the fingerprint) except with
+// probability < 2^-40 over the choice of z.
+type OneSparse struct {
+	z       uint64 // fingerprint base, shared across mergeable cells
+	sumVal  uint64 // Σ value (mod p)
+	sumKV   uint64 // Σ key·value (mod p)
+	fingerp uint64 // Σ value·z^key (mod p)
+}
+
+// NewOneSparse creates a cell with fingerprint base z (draw once per
+// sketch family with NewFingerprintBase).
+func NewOneSparse(z uint64) OneSparse { return OneSparse{z: z} }
+
+// NewFingerprintBase draws a random fingerprint base.
+func NewFingerprintBase(r *xrand.RNG) uint64 {
+	for {
+		z := r.Uint64() & prime
+		if z > 1 && z < prime {
+			return z
+		}
+	}
+}
+
+// Update adds delta to the implicit vector at key. Keys must be < 2^61-1.
+func (c *OneSparse) Update(key uint64, delta int64) {
+	d := toField(delta)
+	c.sumVal = addm(c.sumVal, d)
+	c.sumKV = addm(c.sumKV, mulm(key%prime, d))
+	c.fingerp = addm(c.fingerp, mulm(d, powm(c.z, key)))
+}
+
+// Merge absorbs another cell (must share the same z).
+func (c *OneSparse) Merge(o OneSparse) {
+	if c.z != o.z {
+		panic("sketch: merging OneSparse cells with different fingerprint bases")
+	}
+	c.sumVal = addm(c.sumVal, o.sumVal)
+	c.sumKV = addm(c.sumKV, o.sumKV)
+	c.fingerp = addm(c.fingerp, o.fingerp)
+}
+
+// IsZero reports whether the cell looks like the zero vector.
+func (c *OneSparse) IsZero() bool {
+	return c.sumVal == 0 && c.sumKV == 0 && c.fingerp == 0
+}
+
+// Recover attempts exact 1-sparse recovery. On success it returns the key
+// and the signed value. Values are interpreted in (-p/2, p/2): sketches in
+// this repository always hold small counts, so the embedding is faithful.
+func (c *OneSparse) Recover() (key uint64, value int64, ok bool) {
+	if c.sumVal == 0 {
+		return 0, 0, false // zero vector, or value-sum cancellation
+	}
+	k := mulm(c.sumKV, invm(c.sumVal))
+	// Verify the fingerprint: value·z^k must equal the stored fingerprint.
+	if mulm(c.sumVal, powm(c.z, k)) != c.fingerp {
+		return 0, 0, false
+	}
+	v := c.sumVal
+	if v > prime/2 {
+		return k, -int64(prime - v), true
+	}
+	return k, int64(v), true
+}

@@ -1,0 +1,141 @@
+package sketch
+
+import (
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// SSparseSpec fixes the shared randomness (bucket hash functions and the
+// fingerprint base) for a family of mergeable s-sparse sketches. Two
+// sketches can be merged only if they were created from the same spec.
+type SSparseSpec struct {
+	s       int // sparsity target
+	rows    int // independent repetitions
+	buckets int // buckets per row (2s)
+	hashes  []*xrand.PolyHash
+	z       uint64
+}
+
+// NewSSparseSpec creates a spec for recovering vectors with at most s
+// non-zeros, with failure probability exponentially small in rows.
+func NewSSparseSpec(r *xrand.RNG, s, rows int) *SSparseSpec {
+	if s < 1 {
+		s = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	spec := &SSparseSpec{
+		s:       s,
+		rows:    rows,
+		buckets: 2 * s,
+		z:       NewFingerprintBase(r),
+	}
+	for i := 0; i < rows; i++ {
+		spec.hashes = append(spec.hashes, xrand.NewPolyHash(r.Split(uint64(i)), 2))
+	}
+	return spec
+}
+
+// SSparse is a mergeable sketch that exactly recovers implicit vectors
+// with at most s non-zero entries (with high probability).
+type SSparse struct {
+	spec  *SSparseSpec
+	cells []OneSparse // rows * buckets
+}
+
+// NewSSparse returns a zeroed sketch for the spec.
+func (spec *SSparseSpec) NewSSparse() *SSparse {
+	cells := make([]OneSparse, spec.rows*spec.buckets)
+	for i := range cells {
+		cells[i] = NewOneSparse(spec.z)
+	}
+	return &SSparse{spec: spec, cells: cells}
+}
+
+// Words returns the storage footprint in 64-bit words.
+func (sk *SSparse) Words() int { return 4 * len(sk.cells) }
+
+// Update adds delta at key.
+func (sk *SSparse) Update(key uint64, delta int64) {
+	spec := sk.spec
+	for row := 0; row < spec.rows; row++ {
+		b := spec.hashes[row].HashRange(key, spec.buckets)
+		sk.cells[row*spec.buckets+b].Update(key, delta)
+	}
+}
+
+// Merge absorbs another sketch from the same spec.
+func (sk *SSparse) Merge(o *SSparse) {
+	if sk.spec != o.spec {
+		panic("sketch: merging SSparse sketches from different specs")
+	}
+	for i := range sk.cells {
+		sk.cells[i].Merge(o.cells[i])
+	}
+}
+
+// Clone returns an independent copy.
+func (sk *SSparse) Clone() *SSparse {
+	c := &SSparse{spec: sk.spec, cells: append([]OneSparse(nil), sk.cells...)}
+	return c
+}
+
+// Recover attempts to decode the non-zero entries. If the implicit vector
+// has at most s non-zeros, it is returned exactly (whp). If more, the
+// decode either returns ok=false or a subset of entries that passed their
+// fingerprints; callers relying on exactness should check len <= s and
+// use independent verification where needed. Entries are sorted by key.
+func (sk *SSparse) Recover() (keys []uint64, values []int64, ok bool) {
+	spec := sk.spec
+	found := make(map[uint64]int64)
+	corrupt := false
+	for row := 0; row < spec.rows; row++ {
+		for b := 0; b < spec.buckets; b++ {
+			cell := &sk.cells[row*spec.buckets+b]
+			if cell.IsZero() {
+				continue
+			}
+			k, v, cok := cell.Recover()
+			if !cok {
+				corrupt = true // bucket holds >= 2 colliding keys
+				continue
+			}
+			if prev, seen := found[k]; seen && prev != v {
+				return nil, nil, false // inconsistent recovery: not s-sparse
+			}
+			found[k] = v
+		}
+	}
+	if len(found) == 0 {
+		return nil, nil, !corrupt // all-zero only if no bucket was corrupt
+	}
+	if len(found) > spec.s {
+		return nil, nil, false
+	}
+	// Verify: replay the recovered entries through fresh cells and compare
+	// against every row. This catches the case where collisions hid a key
+	// in all rows.
+	if corrupt {
+		check := spec.NewSSparse()
+		for k, v := range found {
+			check.Update(k, v)
+		}
+		for i := range sk.cells {
+			if sk.cells[i] != check.cells[i] {
+				return nil, nil, false
+			}
+		}
+	}
+	keys = make([]uint64, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	values = make([]int64, len(keys))
+	for i, k := range keys {
+		values[i] = found[k]
+	}
+	return keys, values, true
+}

@@ -1,0 +1,136 @@
+package sparsify
+
+import (
+	"fmt"
+	"math"
+)
+
+// Deferred implements Definition 4 (The Deferred Cut-Sparsifier Problem):
+// sampling decisions are made from promise values ς with the guarantee
+// ς_e/χ ≤ u_e ≤ ς_e·χ for the true (hidden) weights u, oversampling every
+// retention probability by Θ(χ²). After construction, the exact u values
+// of the *stored* edges are revealed via Refine, which produces the final
+// (1±ξ) cut sparsifier of the u-weighted graph.
+//
+// In the paper the promise values are the edge multipliers at sampling
+// time and the true values are the multipliers at use time, which drift
+// by at most e^(±ε) per inner iteration — χ = γ = n^(1/(2p)) covers a full
+// batch of −ε⁻¹·log γ iterations (Theorem 3).
+type Deferred struct {
+	n      int
+	chi    float64
+	items  []Item // probabilities fixed at sampling time; Weight holds ς until refined
+	byEdge map[int]int
+}
+
+// NewDeferred samples the structure D from promise values sigma (indexed
+// like edges). chi ≥ 1 is the promised distortion bound. The edges slice
+// is only read for endpoints; weights used are sigma.
+func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []float64, chi float64, cfg Config) (*Deferred, error) {
+	if chi < 1 {
+		return nil, fmt.Errorf("sparsify: chi %v < 1", chi)
+	}
+	if len(sigma) != m {
+		return nil, fmt.Errorf("sparsify: %d promise values for %d edges", len(sigma), m)
+	}
+	cfg = cfg.withDefaults(n)
+	// Oversample by chi² (Lemma 17: "multiply p′_e by O(χ²)"): raise the
+	// connectivity threshold K by chi², which multiplies every edge's
+	// retention probability by ~chi² *and* keeps the construction
+	// consistent — an edge whose subsampling level reaches its (new,
+	// lower) critical level necessarily enters a forest there, so the
+	// inverse-probability estimator stays unbiased. This is exactly where
+	// the χ² factor of the O(nχ²ξ⁻²·polylog) space bound comes from.
+	boost := int(math.Ceil(chi * chi))
+	if boost < 1 {
+		boost = 1
+	}
+	const maxK = 1 << 13 // memory guard; beyond this the structure would
+	// store everything anyway at the sizes this repository runs
+	if cfg.K > maxK/boost {
+		cfg.K = maxK
+	} else {
+		cfg.K *= boost
+	}
+
+	// Per weight class of sigma, run the leveled construction.
+	type fakeEdge struct{ u, v int32 }
+	endpoints := make([]fakeEdge, m)
+	for i := 0; i < m; i++ {
+		u, v := edgeEndpoints(i)
+		endpoints[i] = fakeEdge{u, v}
+	}
+	classMap := make(map[int][]int)
+	for i := 0; i < m; i++ {
+		if sigma[i] <= 0 {
+			continue
+		}
+		cl := int(math.Floor(math.Log2(sigma[i])))
+		classMap[cl] = append(classMap[cl], i)
+	}
+	d := &Deferred{n: n, chi: chi, byEdge: make(map[int]int)}
+	for ci, class := range classMap {
+		sub := newConstruction(n, m, withClassSeed(cfg, ci))
+		for _, idx := range class {
+			sub.process(idx, endpoints[idx].u, endpoints[idx].v)
+		}
+		// finish needs a graph.Edge slice; synthesize on the fly.
+		seen := make(map[int]bool)
+		for i := 0; i < sub.numLv; i++ {
+			for _, idx := range sub.stored[i] {
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				ep := endpoints[idx]
+				ipLv, ok := sub.criticalLevel(ep.u, ep.v)
+				if !ok {
+					continue
+				}
+				if sub.levelOf(idx) < ipLv {
+					continue
+				}
+				prob := math.Pow(0.5, float64(ipLv))
+				d.byEdge[idx] = len(d.items)
+				d.items = append(d.items, Item{
+					EdgeIdx: idx,
+					U:       ep.u,
+					V:       ep.v,
+					Weight:  sigma[idx], // provisional; replaced on Refine
+					Prob:    prob,
+				})
+			}
+		}
+	}
+	return d, nil
+}
+
+// Size returns the number of stored edges (the structure's space).
+func (d *Deferred) Size() int { return len(d.items) }
+
+// StoredEdges returns the indices of the stored edges — the only edges
+// whose exact weights the refiner is allowed to request (Definition 4).
+func (d *Deferred) StoredEdges() []int {
+	out := make([]int, len(d.items))
+	for i, it := range d.items {
+		out[i] = it.EdgeIdx
+	}
+	return out
+}
+
+// Refine reveals the exact weights of the stored edges and returns the
+// final sparsifier. reveal is called only for stored edge indices; it
+// must return the true weight u_e. Edges whose revealed weight is zero
+// are dropped.
+func (d *Deferred) Refine(reveal func(edgeIdx int) float64) *Sparsifier {
+	items := make([]Item, 0, len(d.items))
+	for _, it := range d.items {
+		u := reveal(it.EdgeIdx)
+		if u <= 0 {
+			continue
+		}
+		it.Weight = u / it.Prob
+		items = append(items, it)
+	}
+	return &Sparsifier{N: d.n, Items: items}
+}

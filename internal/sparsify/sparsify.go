@@ -1,0 +1,251 @@
+// Package sparsify implements cut sparsification as used by the paper:
+//
+//   - the single-pass streaming construction of Algorithm 6 (geometric
+//     edge-subsampling levels G_0 ⊇ G_1 ⊇ …, with k spanning forests per
+//     level estimating edge connectivity), following Benczúr–Karger
+//     sampling as systematized by Fung et al. and Ahn–Guha–McGregor;
+//   - weighted sparsification by weight class (sum of per-class
+//     sparsifiers is a sparsifier of the sum — Lemma 17's proof);
+//   - the *deferred* sparsifier of Definition 4: sampling decisions are
+//     made from promise values ς with ς/χ ≤ u ≤ ςχ, oversampling by
+//     Θ(χ²); the exact weights u are revealed only for stored edges, after
+//     which Refine produces an unbiased (1±ξ) cut approximation.
+//
+// Edges kept at critical level i′ (the smallest subsampling level at which
+// the endpoints are no longer k-connected) survive with probability
+// 2^(−i′); inverse-probability weighting makes every cut unbiased, and
+// k = O(ξ⁻² log² n) concentrates it.
+package sparsify
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a sparsifier construction.
+type Config struct {
+	// K is the number of spanning forests per subsampling level
+	// (connectivity threshold). The theory wants O(ξ⁻² log² n); the
+	// constructor computes a default from Xi and N when K == 0.
+	K int
+	// Xi is the target cut accuracy (default 0.25 when 0).
+	Xi float64
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Xi <= 0 {
+		c.Xi = 0.25
+	}
+	if c.K == 0 {
+		logn := math.Log2(float64(n) + 1)
+		c.K = int(math.Ceil(2 * logn / (c.Xi * c.Xi)))
+		if c.K < 4 {
+			c.K = 4
+		}
+	}
+	return c
+}
+
+// Sparsifier is the output: a weighted subgraph approximating all cuts of
+// the input within (1 ± ξ) with high probability.
+type Sparsifier struct {
+	N     int
+	Items []Item
+}
+
+// Item is one stored edge with its inverse-probability weight.
+type Item struct {
+	EdgeIdx int     // index into the source edge list
+	U, V    int32   // endpoints
+	Weight  float64 // reweighted value (source weight / retention prob)
+	Prob    float64 // retention probability used
+}
+
+// Graph materializes the sparsifier as a graph (for downstream cut
+// queries).
+func (s *Sparsifier) Graph() *graph.Graph {
+	g := graph.New(s.N)
+	for _, it := range s.Items {
+		g.MustAddEdge(int(it.U), int(it.V), it.Weight)
+	}
+	return g
+}
+
+// CutWeight evaluates the sparsifier's estimate of the cut around the set.
+func (s *Sparsifier) CutWeight(inSet []bool) float64 {
+	t := 0.0
+	for _, it := range s.Items {
+		if inSet[it.U] != inSet[it.V] {
+			t += it.Weight
+		}
+	}
+	return t
+}
+
+// construction holds the per-level forest state shared by the plain and
+// deferred builds.
+type construction struct {
+	cfg     Config
+	n       int
+	numLv   int
+	levelOf func(edgeIdx int) int // geometric subsampling level of an edge
+	ufs     [][]*unionfind.UF     // [level][j], j < K
+	stored  [][]int               // [level] -> edge indices stored in forests
+}
+
+func newConstruction(n, m int, cfg Config) *construction {
+	numLv := 1
+	for v := 1; v < m; v <<= 1 {
+		numLv++
+	}
+	h := xrand.NewPolyHash(xrand.New(cfg.Seed), 2)
+	c := &construction{
+		cfg:   cfg,
+		n:     n,
+		numLv: numLv,
+		levelOf: func(edgeIdx int) int {
+			return h.Level(uint64(edgeIdx)+1, numLv-1)
+		},
+		ufs:    make([][]*unionfind.UF, numLv),
+		stored: make([][]int, numLv),
+	}
+	// Forests are allocated lazily: forest j at level i exists only once
+	// some edge was rejected by forests 0..j-1 there. An unallocated
+	// forest is semantically a discrete forest (nothing connected), which
+	// is exactly the state it would be allocated in.
+	return c
+}
+
+// process streams one edge through every level it survives to, inserting
+// it into the first forest without a cycle (Algorithm 6 steps 5-8).
+func (c *construction) process(edgeIdx int, u, v int32) {
+	lv := c.levelOf(edgeIdx)
+	for i := 0; i <= lv && i < c.numLv; i++ {
+		forests := c.ufs[i]
+		placed := false
+		for j := 0; j < len(forests); j++ {
+			if !forests[j].Same(int(u), int(v)) {
+				forests[j].Union(int(u), int(v))
+				c.stored[i] = append(c.stored[i], edgeIdx)
+				placed = true
+				break
+			}
+		}
+		if !placed && len(forests) < c.cfg.K {
+			nf := unionfind.New(c.n)
+			nf.Union(int(u), int(v))
+			c.ufs[i] = append(forests, nf)
+			c.stored[i] = append(c.stored[i], edgeIdx)
+		}
+	}
+}
+
+// criticalLevel returns i′(e): the smallest level at which the endpoints
+// are not connected in the K-th (last) forest structure, i.e. the level
+// where the edge's connectivity drops below K. ok=false if the endpoints
+// are K-connected at every level (out of levels; treat as not output).
+func (c *construction) criticalLevel(u, v int32) (int, bool) {
+	for i := 0; i < c.numLv; i++ {
+		// Fewer than K forests allocated means no edge ever needed the
+		// K-th: the endpoints cannot be K-connected there.
+		if len(c.ufs[i]) < c.cfg.K {
+			return i, true
+		}
+		if !c.ufs[i][c.cfg.K-1].Same(int(u), int(v)) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// finish emits the sparsifier items (Algorithm 6 steps 10-15): an edge is
+// output iff its own subsampling level reaches its critical level i′; the
+// weight is inverse-probability scaled. An edge whose subsampling level
+// reaches i′ necessarily entered a forest at level i′ (its endpoints are
+// not K-connected there), so the stored set always contains every output
+// candidate and the inverse-probability estimator is unbiased.
+func (c *construction) finish(edges []graph.Edge, weightOf func(edgeIdx int) float64) []Item {
+	seen := make(map[int]bool)
+	var items []Item
+	for i := 0; i < c.numLv; i++ {
+		for _, idx := range c.stored[i] {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			e := edges[idx]
+			ip, ok := c.criticalLevel(e.U, e.V)
+			if !ok {
+				continue
+			}
+			if c.levelOf(idx) < ip {
+				continue
+			}
+			prob := math.Pow(0.5, float64(ip))
+			items = append(items, Item{
+				EdgeIdx: idx,
+				U:       e.U,
+				V:       e.V,
+				Weight:  weightOf(idx) / prob,
+				Prob:    prob,
+			})
+		}
+	}
+	return items
+}
+
+// Unweighted builds a sparsifier of an unweighted (or uniformly weighted)
+// graph in a single pass over its edges.
+func Unweighted(g *graph.Graph, cfg Config) *Sparsifier {
+	cfg = cfg.withDefaults(g.N())
+	c := newConstruction(g.N(), g.M(), cfg)
+	for idx, e := range g.Edges() {
+		c.process(idx, e.U, e.V)
+	}
+	items := c.finish(g.Edges(), func(i int) float64 { return g.Edge(i).W })
+	return &Sparsifier{N: g.N(), Items: items}
+}
+
+// Weighted builds a sparsifier of a weighted graph by splitting edges
+// into powers-of-two weight classes, sparsifying each class, and taking
+// the union (the sum of sparsifiers of a partition is a sparsifier of the
+// whole — Lemma 17). Weights may span any positive range.
+func Weighted(g *graph.Graph, cfg Config) *Sparsifier {
+	cfg = cfg.withDefaults(g.N())
+	classes := splitByClass(g.Edges(), func(i int) float64 { return g.Edge(i).W })
+	var items []Item
+	for ci, class := range classes {
+		sub := newConstruction(g.N(), g.M(), withClassSeed(cfg, ci))
+		for _, idx := range class {
+			e := g.Edge(idx)
+			sub.process(idx, e.U, e.V)
+		}
+		items = append(items, sub.finish(g.Edges(), func(i int) float64 { return g.Edge(i).W })...)
+	}
+	return &Sparsifier{N: g.N(), Items: items}
+}
+
+func withClassSeed(cfg Config, class int) Config {
+	cfg.Seed = xrand.Mix64(cfg.Seed ^ (uint64(class)+1)*0x9e3779b97f4a7c15)
+	return cfg
+}
+
+// splitByClass groups edge indices by ⌊log2(weight)⌋ class. Zero-weight
+// edges are dropped (they carry no cut mass).
+func splitByClass(edges []graph.Edge, weightOf func(int) float64) map[int][]int {
+	classes := make(map[int][]int)
+	for i := range edges {
+		w := weightOf(i)
+		if w <= 0 {
+			continue
+		}
+		cl := int(math.Floor(math.Log2(w)))
+		classes[cl] = append(classes[cl], i)
+	}
+	return classes
+}

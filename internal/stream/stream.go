@@ -1,0 +1,103 @@
+// Package stream models the constrained data-access regimes of the paper:
+// a read-only edge stream (semi-streaming) with explicit pass accounting,
+// and a space accountant that tracks the peak number of words of random
+// accessible storage the algorithm holds at any time.
+//
+// Nothing in this package enforces the constraints by construction (the
+// process obviously has RAM); instead the resources are *measured* so that
+// experiments E2/E9 can report rounds/passes and peak space and compare
+// them to the paper's O(p/ε) and O(n^(1+1/p)) bounds.
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// EdgeStream is a replayable, read-only sequence of edges. Each call to
+// ForEach counts as one pass over the input.
+type EdgeStream struct {
+	g      *graph.Graph
+	passes int64
+}
+
+// NewEdgeStream wraps a graph as a stream. The graph must not be mutated
+// afterwards.
+func NewEdgeStream(g *graph.Graph) *EdgeStream {
+	return &EdgeStream{g: g}
+}
+
+// N returns the number of vertices (assumed known a priori, as is standard
+// in semi-streaming).
+func (s *EdgeStream) N() int { return s.g.N() }
+
+// B returns the capacity of vertex v (also assumed known).
+func (s *EdgeStream) B(v int) int { return s.g.B(v) }
+
+// TotalB returns Σ b_i.
+func (s *EdgeStream) TotalB() int { return s.g.TotalB() }
+
+// Passes returns how many passes have been consumed.
+func (s *EdgeStream) Passes() int { return int(atomic.LoadInt64(&s.passes)) }
+
+// ForEach performs one pass over the edges in arrival order. The callback
+// receives the edge index and the edge. Returning false aborts the pass
+// (it still counts as a pass).
+func (s *EdgeStream) ForEach(f func(idx int, e graph.Edge) bool) {
+	atomic.AddInt64(&s.passes, 1)
+	for i, e := range s.g.Edges() {
+		if !f(i, e) {
+			return
+		}
+	}
+}
+
+// Len returns the stream length m. Knowing m (or an upper bound) is
+// standard for choosing subsampling depths.
+func (s *EdgeStream) Len() int { return s.g.M() }
+
+// SpaceAccountant tracks words of central storage in use, its peak, and
+// the number of adaptive access rounds. All methods are safe for
+// concurrent use.
+type SpaceAccountant struct {
+	current int64
+	peak    int64
+	rounds  int64
+}
+
+// NewSpaceAccountant returns a zeroed accountant.
+func NewSpaceAccountant() *SpaceAccountant { return &SpaceAccountant{} }
+
+// Alloc records the acquisition of words of storage.
+func (a *SpaceAccountant) Alloc(words int) {
+	cur := atomic.AddInt64(&a.current, int64(words))
+	for {
+		p := atomic.LoadInt64(&a.peak)
+		if cur <= p || atomic.CompareAndSwapInt64(&a.peak, p, cur) {
+			return
+		}
+	}
+}
+
+// Free records the release of words of storage. Freeing more than is held
+// panics: that is always an accounting bug.
+func (a *SpaceAccountant) Free(words int) {
+	if atomic.AddInt64(&a.current, -int64(words)) < 0 {
+		panic(fmt.Sprintf("stream: freed %d words below zero", words))
+	}
+}
+
+// Current returns the words currently held.
+func (a *SpaceAccountant) Current() int { return int(atomic.LoadInt64(&a.current)) }
+
+// Peak returns the maximum words ever held simultaneously.
+func (a *SpaceAccountant) Peak() int { return int(atomic.LoadInt64(&a.peak)) }
+
+// BeginRound records one adaptive access round (a round of sketching, a
+// MapReduce round, or a streaming pass, depending on the model in play).
+func (a *SpaceAccountant) BeginRound() { atomic.AddInt64(&a.rounds, 1) }
+
+// Rounds returns the number of adaptive rounds recorded.
+func (a *SpaceAccountant) Rounds() int { return int(atomic.LoadInt64(&a.rounds)) }

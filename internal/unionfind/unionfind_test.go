@@ -1,0 +1,188 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBasic(t *testing.T) {
+	u := New(5)
+	if u.Components() != 5 {
+		t.Fatalf("expected 5 components, got %d", u.Components())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("first union returned false")
+	}
+	if u.Union(0, 1) {
+		t.Fatal("repeated union returned true")
+	}
+	if !u.Same(0, 1) {
+		t.Fatal("0 and 1 should be joined")
+	}
+	if u.Same(0, 2) {
+		t.Fatal("0 and 2 should be separate")
+	}
+	if u.Components() != 4 {
+		t.Fatalf("expected 4 components, got %d", u.Components())
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	u := New(10)
+	u.Union(1, 2)
+	u.Union(2, 3)
+	u.Union(7, 8)
+	if !u.Same(1, 3) {
+		t.Fatal("transitivity failed")
+	}
+	if u.Same(1, 7) {
+		t.Fatal("disjoint sets reported same")
+	}
+}
+
+func TestChainComponents(t *testing.T) {
+	const n = 1000
+	u := New(n)
+	for i := 0; i+1 < n; i++ {
+		u.Union(i, i+1)
+	}
+	if u.Components() != 1 {
+		t.Fatalf("chain should form one component, got %d", u.Components())
+	}
+	for i := 0; i < n; i++ {
+		if !u.Same(0, i) {
+			t.Fatalf("element %d not connected", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	u := New(6)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Reset()
+	if u.Components() != 6 {
+		t.Fatalf("reset did not restore components: %d", u.Components())
+	}
+	if u.Same(0, 1) {
+		t.Fatal("reset did not split sets")
+	}
+}
+
+func TestSetsPartition(t *testing.T) {
+	u := New(7)
+	u.Union(0, 1)
+	u.Union(1, 2)
+	u.Union(4, 5)
+	sets := u.Sets()
+	total := 0
+	for _, members := range sets {
+		total += len(members)
+	}
+	if total != 7 {
+		t.Fatalf("partition covers %d elements, want 7", total)
+	}
+	if len(sets) != u.Components() {
+		t.Fatalf("Sets() has %d groups, Components()=%d", len(sets), u.Components())
+	}
+}
+
+// Property: components = n - (number of successful unions), regardless of
+// the union sequence.
+func TestComponentInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(200)
+		u := New(n)
+		merges := 0
+		for i := 0; i < 3*n; i++ {
+			if u.Union(r.Intn(n), r.Intn(n)) {
+				merges++
+			}
+		}
+		return u.Components() == n-merges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Find is idempotent and consistent with Same.
+func TestFindConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(100)
+		u := New(n)
+		for i := 0; i < n; i++ {
+			u.Union(r.Intn(n), r.Intn(n))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (u.Find(i) == u.Find(j)) != u.Same(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-check against a naive quadratic connectivity oracle.
+func TestAgainstNaive(t *testing.T) {
+	r := xrand.New(99)
+	const n = 60
+	u := New(n)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	reach := func(a, b int) bool {
+		seen := make([]bool, n)
+		stack := []int{a}
+		seen[a] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == b {
+				return true
+			}
+			for w := 0; w < n; w++ {
+				if adj[v][w] && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		return false
+	}
+	for step := 0; step < 150; step++ {
+		a, b := r.Intn(n), r.Intn(n)
+		u.Union(a, b)
+		adj[a][b], adj[b][a] = true, true
+		x, y := r.Intn(n), r.Intn(n)
+		if u.Same(x, y) != reach(x, y) {
+			t.Fatalf("step %d: Same(%d,%d)=%v, naive=%v", step, x, y, u.Same(x, y), reach(x, y))
+		}
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	r := xrand.New(1)
+	const n = 1 << 16
+	pairs := make([][2]int, 1<<18)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := New(n)
+		for _, p := range pairs {
+			u.Union(p[0], p[1])
+		}
+	}
+}
