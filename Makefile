@@ -1,0 +1,31 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench experiments
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Root testing.B benchmarks: one per experiment table, quick mode.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Full-scale experiment tables (EXPERIMENTS.md is a captured run).
+experiments:
+	$(GO) run ./cmd/matchbench

@@ -1,8 +1,8 @@
 package repro
 
-// One testing.B benchmark per experiment table (E1–E13, see DESIGN.md
-// section 4 and EXPERIMENTS.md). Each benchmark regenerates its table in
-// quick mode and reports rows produced; `go test -bench=. -benchmem`
+// One testing.B benchmark per experiment table (E1–E14, EA, ES — see
+// DESIGN.md section 4 and EXPERIMENTS.md). Each benchmark regenerates
+// its table in quick mode and reports rows produced; `go test -bench=. -benchmem`
 // therefore re-derives every quantitative claim of the paper at CI
 // scale. Run cmd/matchbench for the full-scale tables.
 
@@ -43,6 +43,7 @@ func BenchmarkE10BMatching(b *testing.B)    { runExperiment(b, "e10") }
 func BenchmarkE11Congest(b *testing.B)      { runExperiment(b, "e11") }
 func BenchmarkE12Relaxations(b *testing.B)  { runExperiment(b, "e12") }
 func BenchmarkE13Scaling(b *testing.B)      { runExperiment(b, "e13") }
+func BenchmarkE14Workers(b *testing.B)      { runExperiment(b, "e14") }
 
 func BenchmarkEAblations(b *testing.B)  { runExperiment(b, "ea") }
 func BenchmarkESemiStream(b *testing.B) { runExperiment(b, "es") }

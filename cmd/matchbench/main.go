@@ -1,6 +1,6 @@
-// Command matchbench runs the experiment suite (E1–E13 of DESIGN.md) and
-// prints one table per experiment. Each table regenerates a quantitative
-// claim or figure of Ahn–Guha (SPAA 2015).
+// Command matchbench runs the experiment suite (E1–E14, EA, ES of
+// DESIGN.md section 4) and prints one table per experiment. Each table
+// regenerates a quantitative claim or figure of Ahn–Guha (SPAA 2015).
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	matchbench -quick          # CI-sized runs
 //	matchbench -exp e1,e6,e7   # selected experiments
 //	matchbench -seed 42
+//	matchbench -workers 4      # shard the pipeline (0 = GOMAXPROCS)
 package main
 
 import (
@@ -23,9 +24,10 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink experiment sizes")
 	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *exps == "" {
 		for _, tab := range bench.All(cfg) {
 			tab.Print(os.Stdout)
@@ -39,7 +41,7 @@ func main() {
 		}
 		fn, ok := bench.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e13)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e14, ea, es)\n", id)
 			os.Exit(2)
 		}
 		tab := fn(cfg)

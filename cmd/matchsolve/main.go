@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	input := flag.String("input", "", "edge-list file (u v w per line) instead of a generator")
 	bmax := flag.Int("bmax", 1, "random vertex capacities in [1,bmax]")
 	verify := flag.Bool("verify", false, "also run the exact blossom solver and report the ratio")
+	workers := flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -60,7 +62,7 @@ func main() {
 		graph.WithRandomB(g, *bmax, false, *seed+1)
 	}
 
-	res, err := core.Solve(g, core.Options{Eps: *eps, P: *p, Seed: *seed + 2})
+	res, err := core.Solve(g, core.Options{Eps: *eps, P: *p, Seed: *seed + 2, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "solve: %v\n", err)
 		os.Exit(1)
@@ -78,6 +80,7 @@ func main() {
 	fmt.Printf("adaptivity      oracle-uses=%d micro-calls=%d pack-iters=%d\n", st.OracleUses, st.MicroCalls, st.PackIters)
 	fmt.Printf("space           peak-sampled-edges=%d dual-state-words=%d\n", st.PeakSampleEdges, st.DualStateWords)
 	fmt.Printf("stream          passes=%d\n", st.Passes)
+	fmt.Printf("pipeline        workers=%d (resolved %d)\n", *workers, parallel.Workers(*workers))
 	if *verify {
 		_, opt := matching.OfflineB(g, matching.OfflineConfig{ExactLimit: 1200})
 		if opt > 0 {

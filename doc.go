@@ -7,9 +7,10 @@
 //
 // The library lives under internal/: the dual-primal solver (core), the
 // substrates it depends on (sketch, sparsify, matching, lp, oddset,
-// cover, pack, levels, stream, graph), the distributed-model simulators
-// (mapreduce, congest) and the experiment harness (bench). See DESIGN.md
-// for the system inventory and EXPERIMENTS.md for measured results.
+// cover, pack, levels, stream, graph, parallel — the sharded worker
+// pool), the distributed-model simulators (mapreduce, congest,
+// semistream) and the experiment harness (bench). See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for measured results.
 //
 // The root package carries the benchmark entry points (bench_test.go):
 // one testing.B benchmark per experiment table.

@@ -59,6 +59,7 @@ func EAblations(cfg Config) Table {
 			res, err := core.Solve(gg.g, core.Options{
 				Eps: eps, P: 2, Seed: cfg.Seed + 223, Profile: &prof,
 				MaxRounds: maxRounds, // dual-certificate budget (τo-scale)
+				Workers:   cfg.Workers,
 			})
 			if err != nil {
 				t.Note("%s/%s: %v", gg.name, v.name, err)
@@ -76,6 +77,7 @@ func EAblations(cfg Config) Table {
 	}
 	t.Note("expected shape: primal ratio robust everywhere (offline step); removing a mechanism")
 	t.Note("degrades the dual certificate (lower lambda / inflated bound / witness storms), not the matching")
+	noteWorkers(&t, cfg)
 	return t
 }
 
@@ -99,5 +101,6 @@ func ESemiStream(cfg Config) Table {
 	rows := semiStreamRows(g, opt, cfg)
 	t.Rows = append(t.Rows, rows...)
 	t.Note("expected shape: one-pass algorithms plateau at their constants; dual-primal reaches ~1 with more passes")
+	noteWorkers(&t, cfg)
 	return t
 }

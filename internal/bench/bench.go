@@ -1,8 +1,8 @@
 // Package bench implements the experiment harness: one runner per
-// experiment in the index of DESIGN.md (E1–E13), each regenerating a
-// quantitative claim or figure of the paper as a printable table. The
-// cmd/matchbench binary and the repository-root testing.B benchmarks are
-// thin wrappers around these runners.
+// experiment in the index of DESIGN.md section 4 (E1–E14, EA, ES), each
+// regenerating a quantitative claim or figure of the paper as a
+// printable table. The cmd/matchbench binary and the repository-root
+// testing.B benchmarks are thin wrappers around these runners.
 package bench
 
 import (
@@ -10,6 +10,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // Table is one experiment's output.
@@ -87,6 +89,23 @@ type Config struct {
 	Quick bool
 	// Seed is the base seed.
 	Seed uint64
+	// Workers is passed to every solver/substrate invocation that
+	// supports the sharded pipeline (0 = GOMAXPROCS, 1 = sequential).
+	// Results are bit-identical across worker counts; tables record the
+	// setting so rows stay attributable.
+	Workers int
+}
+
+// noteWorkers appends the standard workers attribution to a table whose
+// rows were produced through the parallel pipeline, recording both the
+// requested setting and the count it resolved to on this machine.
+func noteWorkers(t *Table, cfg Config) {
+	resolved := parallel.Workers(cfg.Workers)
+	if resolved == 1 {
+		t.Note("workers=%d resolved to 1 (sequential)", cfg.Workers)
+		return
+	}
+	t.Note("workers=%d resolved to %d (results are bit-identical across worker counts)", cfg.Workers, resolved)
 }
 
 // All runs every experiment and returns the tables in order.
@@ -105,6 +124,7 @@ func All(cfg Config) []Table {
 		E11Congest(cfg),
 		E12Relaxations(cfg),
 		E13Scaling(cfg),
+		E14Workers(cfg),
 		EAblations(cfg),
 		ESemiStream(cfg),
 	}
@@ -117,8 +137,8 @@ func ByID(id string) (func(Config) Table, bool) {
 		"e4": E4Adaptivity, "e5": E5TriangleGap, "e6": E6Width,
 		"e7": E7Sparsifier, "e8": E8Filtering, "e9": E9MapReduce,
 		"e10": E10BMatching, "e11": E11Congest, "e12": E12Relaxations,
-		"e13": E13Scaling,
-		"ea":  EAblations, "es": ESemiStream,
+		"e13": E13Scaling, "e14": E14Workers,
+		"ea": EAblations, "es": ESemiStream,
 	}
 	fn, ok := m[strings.ToLower(id)]
 	return fn, ok

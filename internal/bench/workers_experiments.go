@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sketch"
+	"repro/internal/sparsify"
+	"repro/internal/xrand"
+)
+
+// E14Workers — the parallel sharded pipeline (DESIGN.md, "Parallel
+// pipeline"): wall-clock scaling of the three sharded layers and the
+// full solver as the worker count grows, with a bit-identity check of
+// every parallel result against its Workers:1 baseline. This is the
+// workers-scaling table of EXPERIMENTS.md.
+func E14Workers(cfg Config) Table {
+	t := Table{
+		ID:      "E14",
+		Title:   "parallel sharded pipeline: workers scaling (bit-identical results)",
+		Columns: []string{"component", "n", "m", "workers", "ms", "speedup", "identical"},
+	}
+	workerSet := []int{1, 2, 4}
+	if cfg.Quick {
+		workerSet = []int{1, 2}
+	}
+
+	// Instance sizes: the full-scale run targets the largest seed
+	// instances; quick mode keeps CI fast.
+	genN, genM := 20000, 400000
+	bankN, bankReps := 1200, 10
+	spN := 480
+	solveN, solveM := 192, 1920
+	if cfg.Quick {
+		genN, genM = 2000, 20000
+		bankN, bankReps = 200, 6
+		spN = 140
+		solveN, solveM = 64, 512
+	}
+
+	// Best-of-5 wall time with a forced collection before each trial: a
+	// single sample is too noisy to read a speedup from, and stray GC
+	// cycles otherwise land on arbitrary configurations.
+	trials := 5
+	if cfg.Quick {
+		trials = 3
+	}
+	timeBest := func(fn func()) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for trial := 0; trial < trials; trial++ {
+			runtime.GC()
+			if d := timeIt(fn); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	ms := func(d time.Duration) string { return fr(float64(d.Microseconds()) / 1000) }
+
+	addRows := func(component string, n, m int, run func(workers int) any) {
+		run(1) // warm-up: grow the heap before timing so the first
+		// measured configuration doesn't pay the GC ramp alone
+		var baseline any
+		var baseMS time.Duration
+		for _, w := range workerSet {
+			var out any
+			elapsed := timeBest(func() { out = run(w) })
+			identical := "-"
+			speedup := "1.000"
+			switch {
+			case out == nil:
+				// The component errored: a nil-vs-nil DeepEqual must not
+				// read as a passing bit-identity check.
+				identical = "ERR"
+				speedup = "-"
+			case w == 1:
+				baseline, baseMS = out, elapsed
+			case baseline == nil:
+				identical = "ERR"
+				speedup = "-"
+			default:
+				if reflect.DeepEqual(baseline, out) {
+					identical = "yes"
+				} else {
+					identical = "NO"
+				}
+				speedup = fr(float64(baseMS) / float64(elapsed))
+			}
+			t.AddRow(component, d(n), d(m), d(w), ms(elapsed), speedup, identical)
+		}
+	}
+
+	// Layer 1: parallel synthetic generation (internal/graph).
+	wc := graph.WeightConfig{Mode: graph.UniformWeights, WMax: 50}
+	addRows("generate-gnm", genN, genM, func(w int) any {
+		return graph.GNMParallel(genN, genM, wc, cfg.Seed+401, w).Edges()
+	})
+
+	// Layer 2: incidence-sketch bank construction (internal/sketch).
+	bankEdges := graph.GNMParallel(bankN, 8*bankN, graph.WeightConfig{}, cfg.Seed+403, 0).Edges()
+	spec := sketch.NewIncidenceSpec(xrand.New(cfg.Seed+405), bankN, bankReps, 12, 8)
+	addRows("sketch-bank", bankN, len(bankEdges), func(w int) any {
+		return spec.BuildBank(bankEdges, w)
+	})
+
+	// Layer 3: weighted sparsification across weight classes
+	// (internal/sparsify). ExpWeights spans many powers-of-two classes,
+	// the per-class fan-out's parallelism source.
+	spG := graph.GNP(spN, 0.5, graph.WeightConfig{Mode: graph.ExpWeights, Scale: 2}, cfg.Seed+407)
+	addRows("sparsify-weighted", spN, spG.M(), func(w int) any {
+		return sparsify.Weighted(spG, sparsify.Config{Xi: 0.25, Seed: cfg.Seed + 409, Workers: w}).Items
+	})
+
+	// Full solver: every sampling round runs the sharded pipeline.
+	solveG := graph.GNMParallel(solveN, solveM, wc, cfg.Seed+411, 0)
+	solveErrNoted := false
+	addRows("core-solve", solveN, solveM, func(w int) any {
+		res, err := core.Solve(solveG, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 413, Workers: w})
+		if err != nil {
+			if !solveErrNoted {
+				t.Note("core-solve: %v", err)
+				solveErrNoted = true
+			}
+			return nil
+		}
+		return res
+	})
+
+	t.Note("expected shape: identical=yes everywhere; speedup > 1 at workers=4 on the sharded layers when GOMAXPROCS > 1")
+	t.Note("speedup is best-of-%d wall time vs the workers=1 baseline on the same instance (warmed heap, GC between trials)", trials)
+	t.Note("GOMAXPROCS=%d on this run — with a single scheduler thread speedups hover near 1 by construction", runtime.GOMAXPROCS(0))
+	return t
+}

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/oddset"
+import (
+	"sort"
+
+	"repro/internal/oddset"
+)
 
 // MicroOracle — Algorithm 5 (part (ii) of the oracle behind Lemma 14).
 //
@@ -83,11 +87,16 @@ func runMicroOracle(in microInput) microResult {
 		usC += in.wHat(e.k) * e.w
 		levelsInUse[e.k] = true
 	}
+	// Map iteration order is randomized in Go, and float addition is not
+	// associative: every sum over these maps walks keys in sorted order so
+	// the oracle is a pure function of its input — the determinism the
+	// parallel pipeline's bit-identical contract rests on.
+	zetaKeys := sortedRowKeys(in.zeta)
+	sKeys := sortedRowKeys(s)
 	// γ = (uˢ)ᵀc - 3ϱ Σ_{i,k} ŵ_k ζ_{i,k}.
 	gamma := usC
-	for rk, z := range in.zeta {
-		_ = rk
-		gamma -= 3 * in.rho * in.wHat(rk.k) * z
+	for _, rk := range zetaKeys {
+		gamma -= 3 * in.rho * in.wHat(rk.k) * in.zeta[rk]
 	}
 	res := microResult{gamma: gamma}
 	if gamma <= 0 {
@@ -100,9 +109,13 @@ func runMicroOracle(in microInput) microResult {
 		d float64
 	}
 	pos := make(map[int32][]posEntry)
-	for rk, sv := range s {
-		d := sv - 2*in.rho*in.zeta[rk]
+	var posVerts []int32
+	for _, rk := range sKeys {
+		d := s[rk] - 2*in.rho*in.zeta[rk]
 		if d > 0 {
+			if len(pos[rk.v]) == 0 {
+				posVerts = append(posVerts, rk.v)
+			}
 			pos[rk.v] = append(pos[rk.v], posEntry{rk.k, d})
 		}
 	}
@@ -124,7 +137,7 @@ func runMicroOracle(in microInput) microResult {
 	gammaOverBeta := gamma / in.beta
 	var viol []int32
 	gammaV := 0.0
-	for i := range pos {
+	for _, i := range posVerts {
 		ks := -1
 		for l := in.nLevels - 1; l >= 0; l-- {
 			if delta(i, l) > gammaOverBeta*float64(in.bOf(int(i)))*in.wHat(l) {
@@ -169,14 +182,14 @@ func runMicroOracle(in microInput) microResult {
 	// γ′ (step 10).
 	gammaP := usC
 	zetaBarSums := make(map[rowKey]float64) // cache ζ̄ per touched row
-	for rk := range s {
+	for _, rk := range sKeys {
 		zb := zetaBar(rk.v, rk.k)
 		zetaBarSums[rk] = zb
 		gammaP -= 3 * in.rho * in.wHat(rk.k) * zb
 	}
-	for rk, z := range in.zeta {
+	for _, rk := range zetaKeys {
 		if _, ok := s[rk]; !ok {
-			gammaP -= 3 * in.rho * in.wHat(rk.k) * z
+			gammaP -= 3 * in.rho * in.wHat(rk.k) * in.zeta[rk]
 		}
 	}
 	// Steps 11-14: per level ℓ, collect disjoint dense odd sets K(ℓ).
@@ -434,6 +447,22 @@ func enumerateOddSubsets(vs []int32, bOf func(int) int, maxNorm int, f func([]in
 		}
 	}
 	rec(0, 0)
+}
+
+// sortedRowKeys returns the keys of a rowKey-indexed map in (v, k) order,
+// the canonical iteration order for float accumulations over P_o rows.
+func sortedRowKeys(m map[rowKey]float64) []rowKey {
+	keys := make([]rowKey, 0, len(m))
+	for rk := range m {
+		keys = append(keys, rk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].v != keys[j].v {
+			return keys[i].v < keys[j].v
+		}
+		return keys[i].k < keys[j].k
+	})
+	return keys
 }
 
 func sortDesc(xs []int) {

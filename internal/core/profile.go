@@ -20,8 +20,9 @@ import "math"
 // Profile collects the tunable constants of the algorithm. Faithful()
 // uses the paper's constants (astronomically conservative at laptop
 // scale); Practical() keeps the structure and the asymptotic knobs but
-// caps the iteration budgets so experiments finish. Benchmarks record
-// which profile produced every row (see EXPERIMENTS.md).
+// caps the iteration budgets so experiments finish. Every table in
+// EXPERIMENTS.md was produced under Practical unless its notes say
+// otherwise (see "Profile of constants" there).
 type Profile struct {
 	// RInitFactor: the initial solution assigns x_i(k) = RInitFactor*ε*ŵ_k
 	// to saturated vertices (the paper's r = ε/256 means 1.0/256).

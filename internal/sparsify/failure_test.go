@@ -124,10 +124,10 @@ func TestUnweightedSingleEdgeAndEmpty(t *testing.T) {
 }
 
 func TestWeightedZeroAndNegativeClassesDropped(t *testing.T) {
-	// splitByClass must drop non-positive weights rather than panic.
-	classes := splitByClass([]graph.Edge{{U: 0, V: 1, W: 2}}, func(i int) float64 {
+	// bucketByClass must drop non-positive weights rather than panic.
+	classes := bucketByClass(1, func(i int) float64 {
 		return []float64{0}[i]
-	})
+	}, 1)
 	if len(classes) != 0 {
 		t.Fatalf("zero-weight edge classified: %v", classes)
 	}

@@ -19,8 +19,10 @@ package sparsify
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/unionfind"
 	"repro/internal/xrand"
 )
@@ -35,6 +37,12 @@ type Config struct {
 	Xi float64
 	// Seed drives all sampling.
 	Seed uint64
+	// Workers shards the weight-class bucketing by edge range and runs
+	// the per-class constructions concurrently (0 = GOMAXPROCS, 1 =
+	// sequential). The output is bit-identical for every worker count:
+	// per-class randomness is seeded from the class id, and classes merge
+	// in increasing class order.
+	Workers int
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -214,18 +222,24 @@ func Unweighted(g *graph.Graph, cfg Config) *Sparsifier {
 // Weighted builds a sparsifier of a weighted graph by splitting edges
 // into powers-of-two weight classes, sparsifying each class, and taking
 // the union (the sum of sparsifiers of a partition is a sparsifier of the
-// whole — Lemma 17). Weights may span any positive range.
+// whole — Lemma 17). Weights may span any positive range. Classes build
+// concurrently on cfg.Workers goroutines and merge in class order, so the
+// output is identical for every worker count.
 func Weighted(g *graph.Graph, cfg Config) *Sparsifier {
 	cfg = cfg.withDefaults(g.N())
-	classes := splitByClass(g.Edges(), func(i int) float64 { return g.Edge(i).W })
-	var items []Item
-	for ci, class := range classes {
-		sub := newConstruction(g.N(), g.M(), withClassSeed(cfg, ci))
-		for _, idx := range class {
+	classes := bucketByClass(g.M(), func(i int) float64 { return g.Edge(i).W }, cfg.Workers)
+	perClass := parallel.Map(cfg.Workers, len(classes), func(ci int) []Item {
+		grp := classes[ci]
+		sub := newConstruction(g.N(), g.M(), withClassSeed(cfg, grp.class))
+		for _, idx := range grp.idxs {
 			e := g.Edge(idx)
 			sub.process(idx, e.U, e.V)
 		}
-		items = append(items, sub.finish(g.Edges(), func(i int) float64 { return g.Edge(i).W })...)
+		return sub.finish(g.Edges(), func(i int) float64 { return g.Edge(i).W })
+	})
+	var items []Item
+	for _, its := range perClass {
+		items = append(items, its...)
 	}
 	return &Sparsifier{N: g.N(), Items: items}
 }
@@ -235,17 +249,48 @@ func withClassSeed(cfg Config, class int) Config {
 	return cfg
 }
 
-// splitByClass groups edge indices by ⌊log2(weight)⌋ class. Zero-weight
-// edges are dropped (they carry no cut mass).
-func splitByClass(edges []graph.Edge, weightOf func(int) float64) map[int][]int {
-	classes := make(map[int][]int)
-	for i := range edges {
-		w := weightOf(i)
-		if w <= 0 {
-			continue
+// classGroup is one powers-of-two weight class with its edge indices in
+// increasing edge order.
+type classGroup struct {
+	class int
+	idxs  []int
+}
+
+// bucketByClass groups edge indices by ⌊log2(weight)⌋ class, sharding the
+// scan by edge range across workers. Shard-local lists concatenate in
+// shard order, so each class's index list comes out in increasing edge
+// order — exactly what a sequential scan produces for any shard partition
+// — and parallel edges (same endpoints, same class) keep their arrival
+// order, which makes their downstream weight sums deterministic. Classes
+// are returned sorted; zero-weight edges are dropped (no cut mass).
+func bucketByClass(m int, weightOf func(int) float64, workers int) []classGroup {
+	shards := parallel.Shards(m, parallel.Workers(workers))
+	locals := parallel.Map(workers, len(shards), func(s int) map[int][]int {
+		local := make(map[int][]int)
+		for i := shards[s].Lo; i < shards[s].Hi; i++ {
+			w := weightOf(i)
+			if w <= 0 {
+				continue
+			}
+			cl := int(math.Floor(math.Log2(w)))
+			local[cl] = append(local[cl], i)
 		}
-		cl := int(math.Floor(math.Log2(w)))
-		classes[cl] = append(classes[cl], i)
+		return local
+	})
+	merged := make(map[int][]int)
+	for _, local := range locals {
+		for cl, idxs := range local {
+			merged[cl] = append(merged[cl], idxs...)
+		}
 	}
-	return classes
+	keys := make([]int, 0, len(merged))
+	for cl := range merged {
+		keys = append(keys, cl)
+	}
+	sort.Ints(keys)
+	out := make([]classGroup, 0, len(keys))
+	for _, cl := range keys {
+		out = append(out, classGroup{class: cl, idxs: merged[cl]})
+	}
+	return out
 }

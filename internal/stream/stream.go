@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // EdgeStream is a replayable, read-only sequence of edges. Each call to
@@ -52,6 +53,24 @@ func (s *EdgeStream) ForEach(f func(idx int, e graph.Edge) bool) {
 			return
 		}
 	}
+}
+
+// ForEachParallel performs one pass over the edges with the work sharded
+// by edge range across workers (0 = GOMAXPROCS, 1 = sequential). The
+// callback may run concurrently from multiple goroutines and there is no
+// early abort; each edge index is visited exactly once, so callbacks that
+// only write index-keyed slots need no synchronization. The whole sweep
+// counts as a single pass regardless of worker count — the shards
+// together read the input once, exactly as the distributed mappers of
+// Section 4.2 share one round.
+func (s *EdgeStream) ForEachParallel(workers int, f func(idx int, e graph.Edge)) {
+	atomic.AddInt64(&s.passes, 1)
+	edges := s.g.Edges()
+	parallel.ForEachShard(workers, len(edges), func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			f(i, edges[i])
+		}
+	})
 }
 
 // Len returns the stream length m. Knowing m (or an upper bound) is
