@@ -1,4 +1,4 @@
-// Command matchbench runs the experiment suite (E1–E14, EA, ES of
+// Command matchbench runs the experiment suite (E1–E15, EA, ES of
 // DESIGN.md section 4) and prints one table per experiment. Each table
 // regenerates a quantitative claim or figure of Ahn–Guha (SPAA 2015).
 //
@@ -41,7 +41,7 @@ func main() {
 		}
 		fn, ok := bench.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e14, ea, es)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e15, ea, es)\n", id)
 			os.Exit(2)
 		}
 		tab := fn(cfg)

@@ -2,47 +2,88 @@
 // nonbipartite b-matching solver on a generated or file-based instance
 // and prints the matching, the dual certificate and the resource stats.
 //
-// Usage:
+// Instances come from a generator or from -input with a -format:
 //
 //	matchsolve -n 200 -m 2000 -dist uniform -eps 0.25 -p 2
-//	matchsolve -input edges.txt -eps 0.125      # lines: u v w
-//	matchsolve -n 100 -m 800 -verify            # compare to exact blossom
+//	matchsolve -input edges.txt -eps 0.125            # lines: u v w
+//	matchsolve -input inst.col -format dimacs         # DIMACS edge format
+//	matchsolve -input big.rbg -format bin             # out-of-core binary
+//	matchsolve -n 100 -m 800 -verify                  # compare to exact blossom
+//	matchsolve -input edges.txt -convert big.rbg      # text -> binary, no solve
+//
+// The binary format (-format bin) is solved through the file-backed
+// stream.Source: edges are read in buffered passes and never fully
+// materialized, so instances larger than memory work.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/parallel"
+	"repro/internal/stream"
 )
 
 func main() {
-	n := flag.Int("n", 128, "vertices (generated instance)")
-	m := flag.Int("m", 1024, "edges (generated instance)")
-	dist := flag.String("dist", "uniform", "weight distribution: unit|uniform|powers|exp")
-	wmax := flag.Float64("wmax", 100, "max weight for uniform")
-	eps := flag.Float64("eps", 0.25, "accuracy epsilon")
-	p := flag.Float64("p", 2, "space exponent p (> 1)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	input := flag.String("input", "", "edge-list file (u v w per line) instead of a generator")
-	bmax := flag.Int("bmax", 1, "random vertex capacities in [1,bmax]")
-	verify := flag.Bool("verify", false, "also run the exact blossom solver and report the ratio")
-	workers := flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var g *graph.Graph
-	if *input != "" {
-		var err error
-		g, err = readGraph(*input)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "read %s: %v\n", *input, err)
-			os.Exit(1)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("matchsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 128, "vertices (generated instance)")
+	m := fs.Int("m", 1024, "edges (generated instance)")
+	dist := fs.String("dist", "uniform", "weight distribution: unit|uniform|powers|exp")
+	wmax := fs.Float64("wmax", 100, "max weight for uniform")
+	eps := fs.Float64("eps", 0.25, "accuracy epsilon")
+	p := fs.Float64("p", 2, "space exponent p (> 1)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	input := fs.String("input", "", "instance file instead of a generator")
+	format := fs.String("format", "edgelist", "input format: edgelist|dimacs|bin")
+	convert := fs.String("convert", "", "write the instance to this binary (RBG1) file and exit")
+	bmax := fs.Int("bmax", 1, "random vertex capacities in [1,bmax]")
+	verify := fs.Bool("verify", false, "also run the exact blossom solver and report the ratio")
+	workers := fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(formatStr string, a ...any) int {
+		fmt.Fprintf(stderr, formatStr+"\n", a...)
+		return 1
+	}
+
+	// Assemble the instance behind a stream.Source. The binary path stays
+	// out-of-core; everything else materializes (text must be parsed, and
+	// a generated graph here is small by construction).
+	var src stream.Source
+	switch {
+	case *input != "" && strings.ToLower(*format) == "bin":
+		if *bmax > 1 {
+			return fail("-bmax is not supported with -format bin: capacities live in the file (use -convert after applying them)")
 		}
-	} else {
+		fsrc, err := stream.OpenBinary(*input)
+		if err != nil {
+			return fail("open %s: %v", *input, err)
+		}
+		defer fsrc.Close()
+		src = fsrc
+	case *input != "":
+		g, err := readTextGraph(*input, *format)
+		if err != nil {
+			return fail("read %s: %v", *input, err)
+		}
+		if *bmax > 1 {
+			graph.WithRandomB(g, *bmax, false, *seed+1)
+		}
+		src = stream.NewEdgeStream(g)
+	default:
 		wc := graph.WeightConfig{Mode: graph.UniformWeights, WMax: *wmax}
 		switch *dist {
 		case "unit":
@@ -53,47 +94,63 @@ func main() {
 			wc = graph.WeightConfig{Mode: graph.ExpWeights, Scale: 2}
 		case "uniform":
 		default:
-			fmt.Fprintf(os.Stderr, "unknown -dist %q\n", *dist)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown -dist %q\n", *dist)
+			return 2
 		}
-		g = graph.GNM(*n, *m, wc, *seed)
-	}
-	if *bmax > 1 {
-		graph.WithRandomB(g, *bmax, false, *seed+1)
+		g := graph.GNM(*n, *m, wc, *seed)
+		if *bmax > 1 {
+			graph.WithRandomB(g, *bmax, false, *seed+1)
+		}
+		src = stream.NewEdgeStream(g)
 	}
 
-	res, err := core.Solve(g, core.Options{Eps: *eps, P: *p, Seed: *seed + 2, Workers: *workers})
+	if *convert != "" {
+		if err := stream.WriteBinaryFile(*convert, src); err != nil {
+			return fail("convert: %v", err)
+		}
+		fmt.Fprintf(stdout, "wrote %s: n=%d m=%d B=%d\n", *convert, src.N(), src.Len(), src.TotalB())
+		return 0
+	}
+
+	res, err := core.Solve(src, core.Options{Eps: *eps, P: *p, Seed: *seed + 2, Workers: *workers})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solve: %v\n", err)
-		os.Exit(1)
+		return fail("solve: %v", err)
 	}
-	if err := res.Matching.Validate(g); err != nil {
-		fmt.Fprintf(os.Stderr, "internal error: invalid matching: %v\n", err)
-		os.Exit(1)
+	if err := res.Matching.ValidateStream(src); err != nil {
+		return fail("internal error: invalid matching: %v", err)
 	}
-	fmt.Printf("instance        n=%d m=%d B=%d\n", g.N(), g.M(), g.TotalB())
-	fmt.Printf("matching        edges=%d weight=%.4f\n", res.Matching.Size(), res.Weight)
-	fmt.Printf("dual            objective=%.4f lambda=%.4f certified-bound=%.4f\n",
+	fmt.Fprintf(stdout, "instance        n=%d m=%d B=%d\n", src.N(), src.Len(), src.TotalB())
+	fmt.Fprintf(stdout, "matching        edges=%d weight=%.4f\n", res.Matching.Size(), res.Weight)
+	fmt.Fprintf(stdout, "dual            objective=%.4f lambda=%.4f certified-bound=%.4f\n",
 		res.DualObjective, res.Lambda, res.CertifiedUpperBound(*eps))
 	st := res.Stats
-	fmt.Printf("rounds          init=%d sampling=%d (early-stop=%v)\n", st.InitRounds, st.SamplingRounds, st.EarlyStopped)
-	fmt.Printf("adaptivity      oracle-uses=%d micro-calls=%d pack-iters=%d\n", st.OracleUses, st.MicroCalls, st.PackIters)
-	fmt.Printf("space           peak-sampled-edges=%d dual-state-words=%d\n", st.PeakSampleEdges, st.DualStateWords)
-	fmt.Printf("stream          passes=%d\n", st.Passes)
-	fmt.Printf("pipeline        workers=%d (resolved %d)\n", *workers, parallel.Workers(*workers))
+	fmt.Fprintf(stdout, "rounds          init=%d sampling=%d (early-stop=%v)\n", st.InitRounds, st.SamplingRounds, st.EarlyStopped)
+	fmt.Fprintf(stdout, "adaptivity      oracle-uses=%d micro-calls=%d pack-iters=%d\n", st.OracleUses, st.MicroCalls, st.PackIters)
+	fmt.Fprintf(stdout, "space           peak-sampled-edges=%d peak-words=%d dual-state-words=%d\n", st.PeakSampleEdges, st.PeakWords, st.DualStateWords)
+	fmt.Fprintf(stdout, "stream          passes=%d\n", st.Passes)
+	fmt.Fprintf(stdout, "pipeline        workers=%d (resolved %d)\n", *workers, parallel.Workers(*workers))
 	if *verify {
+		g := stream.Materialize(src)
 		_, opt := matching.OfflineB(g, matching.OfflineConfig{ExactLimit: 1200})
 		if opt > 0 {
-			fmt.Printf("verification    optimum=%.4f ratio=%.4f (target >= %.4f)\n", opt, res.Weight/opt, 1-*eps)
+			fmt.Fprintf(stdout, "verification    optimum=%.4f ratio=%.4f (target >= %.4f)\n", opt, res.Weight/opt, 1-*eps)
 		}
 	}
+	return 0
 }
 
-func readGraph(path string) (*graph.Graph, error) {
+func readTextGraph(path, format string) (*graph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return graph.ReadEdgeList(f)
+	switch strings.ToLower(format) {
+	case "edgelist":
+		return graph.ReadEdgeList(f)
+	case "dimacs":
+		return graph.ReadDIMACS(f)
+	default:
+		return nil, fmt.Errorf("unknown -format %q (edgelist|dimacs|bin)", format)
+	}
 }

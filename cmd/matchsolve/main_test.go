@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// runCLI invokes the command and returns its stdout, failing on nonzero
+// exit or stderr output.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	if errOut.Len() > 0 {
+		t.Fatalf("unexpected stderr: %s", errOut.String())
+	}
+	return out.String()
+}
+
+// TestGoldenSmallInstance pins the full CLI output — matching, dual
+// certificate, resource stats, verification ratio — on a small seeded
+// instance, so any solver or accounting regression trips tier-1.
+// Workers is pinned to 1 so the "resolved" line is machine-independent.
+func TestGoldenSmallInstance(t *testing.T) {
+	got := runCLI(t, "-n", "40", "-m", "200", "-wmax", "20", "-seed", "3",
+		"-eps", "0.25", "-p", "2", "-workers", "1", "-verify")
+	golden := filepath.Join("testdata", "solve_small.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("CLI output drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestBinaryPathMatchesInMemory solves the same instance from an
+// edge-list file and from its binary conversion: the two outputs must be
+// identical line for line (the backend must not leak into results).
+func TestBinaryPathMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	edgelist := filepath.Join(dir, "inst.txt")
+	// A deterministic weighted instance with a capacity line.
+	var sb strings.Builder
+	sb.WriteString("# test instance\nb 0 2\n")
+	edges := []string{"0 1 5", "0 2 4.5", "1 2 3", "2 3 7", "3 4 2", "4 5 6", "0 5 1.25", "1 4 2.5"}
+	sb.WriteString(strings.Join(edges, "\n") + "\n")
+	if err := os.WriteFile(edgelist, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "inst.rbg")
+	conv := runCLI(t, "-input", edgelist, "-convert", bin)
+	if !strings.Contains(conv, "n=6 m=8 B=7") {
+		t.Fatalf("unexpected convert summary: %q", conv)
+	}
+	fromText := runCLI(t, "-input", edgelist, "-seed", "5", "-workers", "1")
+	fromBin := runCLI(t, "-input", bin, "-format", "bin", "-seed", "5", "-workers", "1")
+	if fromText != fromBin {
+		t.Errorf("binary backend output differs from edge-list backend:\n--- text ---\n%s--- bin ---\n%s", fromText, fromBin)
+	}
+}
+
+func TestDIMACSInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.col")
+	dimacs := "c tiny triangle plus pendant\np edge 4 4\ne 1 2 3\ne 2 3 2\ne 1 3 1\ne 3 4 5\n"
+	if err := os.WriteFile(path, []byte(dimacs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-input", path, "-format", "dimacs", "-workers", "1")
+	if !strings.Contains(out, "instance        n=4 m=4 B=4") {
+		t.Fatalf("DIMACS instance not parsed as expected:\n%s", out)
+	}
+	// Optimum is edges {1,2} and {3,4}: weight 8; eps=0.25 must find it
+	// on a 4-vertex instance.
+	if !strings.Contains(out, "weight=8.0000") {
+		t.Fatalf("unexpected matching weight:\n%s", out)
+	}
+}
+
+func TestBadFlagsFail(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dist", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -dist exited %d, want 2", code)
+	}
+	if code := run([]string{"-input", "/no/such/file"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing input exited %d, want 1", code)
+	}
+}

@@ -96,7 +96,7 @@ func main() {
 	}
 	fmt.Printf("pool: %d pairs, %d feasible two-way swaps\n", g.N(), g.M())
 
-	res, err := core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: 11})
+	res, err := core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}

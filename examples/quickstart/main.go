@@ -21,7 +21,7 @@ func main() {
 
 	// Solve with eps = 1/4 and space exponent p = 2 (central space
 	// ~ n^{3/2} edge words, O(p/eps) sampling rounds).
-	res, err := core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: 42})
+	res, err := core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,7 +56,7 @@ func EAblations(cfg Config) Table {
 		for _, v := range variants {
 			prof := core.Practical(eps)
 			v.mod(&prof)
-			res, err := core.Solve(gg.g, core.Options{
+			res, err := core.SolveGraph(gg.g, core.Options{
 				Eps: eps, P: 2, Seed: cfg.Seed + 223, Profile: &prof,
 				MaxRounds: maxRounds, // dual-certificate budget (τo-scale)
 				Workers:   cfg.Workers,

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one runner per
-// experiment in the index of DESIGN.md section 4 (E1–E14, EA, ES), each
+// experiment in the index of DESIGN.md section 4 (E1–E15, EA, ES), each
 // regenerating a quantitative claim or figure of the paper as a
 // printable table. The cmd/matchbench binary and the repository-root
 // testing.B benchmarks are thin wrappers around these runners.
@@ -125,6 +125,7 @@ func All(cfg Config) []Table {
 		E12Relaxations(cfg),
 		E13Scaling(cfg),
 		E14Workers(cfg),
+		E15Backends(cfg),
 		EAblations(cfg),
 		ESemiStream(cfg),
 	}
@@ -137,7 +138,7 @@ func ByID(id string) (func(Config) Table, bool) {
 		"e4": E4Adaptivity, "e5": E5TriangleGap, "e6": E6Width,
 		"e7": E7Sparsifier, "e8": E8Filtering, "e9": E9MapReduce,
 		"e10": E10BMatching, "e11": E11Congest, "e12": E12Relaxations,
-		"e13": E13Scaling, "e14": E14Workers,
+		"e13": E13Scaling, "e14": E14Workers, "e15": E15Backends,
 		"ea": EAblations, "es": ESemiStream,
 	}
 	fn, ok := m[strings.ToLower(id)]

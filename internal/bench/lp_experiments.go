@@ -2,6 +2,7 @@ package bench
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/lp"
@@ -90,7 +91,7 @@ func E12Relaxations(cfg Config) Table {
 			}
 			perm := r.Perm(n)[:size]
 			set := append([]int(nil), perm...)
-			sortInts(set)
+			sort.Ints(set)
 			fam.Sets = append(fam.Sets, set)
 			fam.Z = append(fam.Z, 0.1+r.Float64())
 		}
@@ -132,12 +133,4 @@ func E12Relaxations(cfg Config) Table {
 	t.AddRow("LP10-vs-LP11", d(lpTrials), d(pass23), fr(maxRatio))
 	t.Note("expected shape: all uncrossings laminar at zero deviation; LP10/LP11 in [1, 1+eps]")
 	return t
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

@@ -25,7 +25,7 @@ func semiStreamRows(g *graph.Graph, opt float64, cfg Config) [][]string {
 	m3 := semistream.ShortAugmentPasses(s3, semistream.OnePassGreedy(s3), 6)
 	add("3-augment-passes", m3.Weight(g), s3.Passes())
 
-	res, err := core.Solve(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 311, Workers: cfg.Workers})
+	res, err := core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 311, Workers: cfg.Workers})
 	if err == nil {
 		add("dual-primal(eps=1/4)", res.Weight, res.Stats.Passes)
 	}

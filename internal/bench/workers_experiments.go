@@ -119,7 +119,7 @@ func E14Workers(cfg Config) Table {
 	solveG := graph.GNMParallel(solveN, solveM, wc, cfg.Seed+411, 0)
 	solveErrNoted := false
 	addRows("core-solve", solveN, solveM, func(w int) any {
-		res, err := core.Solve(solveG, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 413, Workers: w})
+		res, err := core.SolveGraph(solveG, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 413, Workers: w})
 		if err != nil {
 			if !solveErrNoted {
 				t.Note("core-solve: %v", err)

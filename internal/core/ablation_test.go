@@ -17,7 +17,7 @@ func ablSolve(t *testing.T, g *graph.Graph, mod func(*Profile), rounds int) *Res
 	if mod != nil {
 		mod(&prof)
 	}
-	res, err := Solve(g, Options{Eps: 0.125, P: 2, Seed: 3, Profile: &prof, MaxRounds: rounds})
+	res, err := SolveGraph(g, Options{Eps: 0.125, P: 2, Seed: 3, Profile: &prof, MaxRounds: rounds})
 	if err != nil {
 		t.Fatal(err)
 	}

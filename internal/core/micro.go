@@ -466,9 +466,5 @@ func sortedRowKeys(m map[rowKey]float64) []rowKey {
 }
 
 func sortDesc(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+	sort.Sort(sort.Reverse(sort.IntSlice(xs)))
 }

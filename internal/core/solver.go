@@ -28,14 +28,15 @@ type Options struct {
 	// MaxRounds overrides the round budget (0 = derive from profile).
 	MaxRounds int
 	// Workers shards the per-edge/per-vertex work of every sampling
-	// round (promise-multiplier passes, deferred-sparsifier construction,
-	// refinement reveals, the per-level initial solutions) across a
-	// worker pool: 0 = GOMAXPROCS, 1 = exact sequential execution. The
-	// Result is bit-identical for every worker count — randomness is
-	// pre-split per shard and shard outputs merge in deterministic order
-	// (see internal/parallel); only wall-clock time changes. The
-	// sequential oracle-use loop is untouched: that adaptivity is the
-	// quantity the paper bounds, not an implementation artifact.
+	// round (promise-multiplier evaluation, deferred-sparsifier
+	// construction, refinement reveals, the per-level initial solutions)
+	// across a worker pool: 0 = GOMAXPROCS, 1 = exact sequential
+	// execution. The Result is bit-identical for every worker count —
+	// randomness is pre-split per shard and shard outputs merge in
+	// deterministic order (see internal/parallel); only wall-clock time
+	// changes. The sequential oracle-use loop is untouched: that
+	// adaptivity is the quantity the paper bounds, not an implementation
+	// artifact.
 	Workers int
 }
 
@@ -46,8 +47,9 @@ type Stats struct {
 	OracleUses      int   // sequential deferred-sparsifier uses ("adaptivity at use")
 	MicroCalls      int   // MicroOracle invocations
 	PackIters       int   // inner packing iterations
-	Passes          int   // stream passes made by the simulation
+	Passes          int   // metered passes over the input Source (W* scan, level census, λ evaluations, one fused sampling pass per round)
 	PeakSampleEdges int   // peak sampled edges held centrally
+	PeakWords       int   // peak words of central storage ever metered (samples, staging chunks, init transients) — the SpaceAccountant's high-water mark
 	DualStateWords  int   // final size of the dual state
 	UnionSizes      []int // per round: offline-solve union size
 	LambdaTrace     []float64
@@ -63,7 +65,7 @@ type Stats struct {
 // Result is the outcome of a Solve run.
 type Result struct {
 	// Matching is the best integral b-matching found (indices into the
-	// input graph's edge list, with multiplicities).
+	// input stream's edge sequence, with multiplicities).
 	Matching *matching.Matching
 	// Weight is the matching's weight in original units.
 	Weight float64
@@ -88,8 +90,42 @@ func (r *Result) CertifiedUpperBound(eps float64) float64 {
 	return r.DualObjective / r.Lambda * (1 + eps)
 }
 
-// Solve runs the dual-primal algorithm on g.
-func Solve(g *graph.Graph, opt Options) (*Result, error) {
+// solveChunkEdges is the staging-buffer granule of the fused sampling
+// pass: edges are read from the Source in chunks of this size, promise
+// multipliers are evaluated over the chunk in parallel shards, and the
+// chunk is dispatched into the streaming sparsifier constructions. It is
+// a constant so chunk boundaries — which never affect results anyway —
+// are also independent of everything. The buffer is metered against the
+// SpaceAccountant; it is the only per-round state whose size is not
+// already bounded by the sample.
+const solveChunkEdges = 1 << 12
+
+// chunkEdge is one staged edge of the fused sampling pass.
+type chunkEdge struct {
+	u, v  int32
+	k     int32 // weight level
+	orig  int   // index in the source stream
+	local int   // index within the level's own sequence
+	w     float64
+	sigma float64 // promise multiplier, filled per chunk
+}
+
+// SolveGraph runs the dual-primal algorithm on a materialized in-memory
+// graph — the historical entry point, now a thin wrapper that serves the
+// graph to Solve through the in-memory Source backend.
+func SolveGraph(g *graph.Graph, opt Options) (*Result, error) {
+	return Solve(stream.NewEdgeStream(g), opt)
+}
+
+// Solve runs the dual-primal algorithm against any stream.Source: an
+// in-memory edge list, an on-disk binary file, a replayed generator, or
+// a sharded composition. The solver holds O(n) dual state plus the
+// O(n^(1+1/p))-word samples and a constant-size staging chunk; it never
+// materializes the edge set, so instances larger than memory run through
+// the file- or generator-backed Sources unchanged. The Result is a pure
+// function of (source edge sequence, Options) — every backend serving
+// the same sequence yields a bit-identical Result for any worker count.
+func Solve(src stream.Source, opt Options) (*Result, error) {
 	if !(opt.Eps > 0) || opt.Eps >= 0.5 {
 		return nil, errors.New("core: Eps must be in (0, 0.5)")
 	}
@@ -101,19 +137,22 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		prof = *opt.Profile
 	}
 	res := &Result{Matching: &matching.Matching{}}
-	if g.M() == 0 {
+	if src.Len() == 0 {
 		return res, nil
 	}
 	eps := opt.Eps
-	scheme, err := levels.ForGraph(g, eps)
+	n := src.N()
+	passes0 := src.Passes()
+	// Pass: W* scan — the only instance statistic the discretization
+	// needs that is not known a priori.
+	scheme, err := levels.NewScheme(eps, stream.MaxWeight(src), src.TotalB())
 	if err != nil {
 		return nil, err
 	}
-	s := stream.NewEdgeStream(g)
 	acct := stream.NewSpaceAccountant()
 	rng := xrand.New(opt.Seed)
 	workers := parallel.Workers(opt.Workers)
-	bOf := func(v int) int { return g.B(v) }
+	bOf := func(v int) int { return src.B(v) }
 	wHat := scheme.WHat
 	nl := scheme.NumLevels()
 	maxNorm := int(math.Ceil(4 / eps))
@@ -124,13 +163,31 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		maxNorm = 3
 	}
 
+	// Pass: level census — how many edges live at each weight level. The
+	// populated levels define the per-level streams of the initial
+	// solution and the (use, level) sparsifier grid; the counts fix each
+	// construction's subsampling depth.
+	levelCount := make([]int, nl)
+	src.ForEach(func(_ int, e graph.Edge) bool {
+		if k, ok := scheme.Level(e.W); ok {
+			levelCount[k]++
+		}
+		return true
+	})
+	liveLevels := make([]int, 0, nl)
+	for k, cnt := range levelCount {
+		if cnt > 0 {
+			liveLevels = append(liveLevels, k)
+		}
+	}
+
 	// ---- Initial solution (Lemmas 12, 20, 21) ----
-	state := newDualState(scheme, g.N(), prof.ZPruneRel)
-	initRounds := buildInitialSolution(g, scheme, prof, eps, opt.P, rng.Split(1), acct, state, workers)
+	state := newDualState(scheme, n, prof.ZPruneRel)
+	initRounds := buildInitialSolution(src, liveLevels, scheme, prof, eps, opt.P, rng.Split(1), acct, state, workers)
 	res.Stats.InitRounds = initRounds
 
 	// ---- Outer loop (Algorithms 2/4) ----
-	gammaChi := math.Pow(float64(g.N()), 1/(2*opt.P))
+	gammaChi := math.Pow(float64(n), 1/(2*opt.P))
 	if gammaChi < 2 {
 		gammaChi = 2
 	}
@@ -145,15 +202,35 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 	if maxRounds == 0 {
 		maxRounds = int(math.Ceil(prof.MaxRoundsScale*3*opt.P/eps)) + 1
 	}
-	lambda := state.Lambda(g)
-	extraPasses := 1 // λ evaluation passes not routed through the stream
+	lambda := lambdaOf(src, scheme, state) // pass: initial λ evaluation
 	beta := state.Objective(bOf)
 	if beta <= 0 {
 		beta = 1e-12
 	}
 	target := 1 - 3*eps
-	mKept := float64(g.M())
-	perLevelEdges := scheme.Partition(g)
+	mKept := float64(src.Len())
+
+	// The (use, level) job grid of one sampling round, fixed across
+	// rounds: job (q, slot) owns the deferred construction for use q at
+	// level liveLevels[slot].
+	type defJob struct{ q, slot, k int }
+	var jobs []defJob
+	for q := 0; q < tUses; q++ {
+		for slot, k := range liveLevels {
+			jobs = append(jobs, defJob{q: q, slot: slot, k: k})
+		}
+	}
+	chunk := make([]chunkEdge, 0, solveChunkEdges)
+	levelCursor := make([]int, nl)
+	slotOf := make([]int, nl)
+	for slot, k := range liveLevels {
+		slotOf[k] = slot
+	}
+	// Per-slot index lists into the chunk, rebuilt per dispatch (backing
+	// arrays reused): each (use, level) job walks only its own level's
+	// edges rather than rescanning the whole chunk.
+	bySlot := make([][]int32, len(liveLevels))
+	bestWeight := 0.0
 
 	bestHat := 0.0
 	// For ε >= 1/3 the certificate target 1-3ε is non-positive and any
@@ -177,94 +254,113 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 			sigma = 0.5
 		}
 
-		// Promise multipliers ς_e = exp(-α(cov_e/ŵ_k - λ))/ŵ_k
-		// (max-normalized; one sharded pass — computed exactly as the
-		// distributed mappers would from the broadcast read-only dual
-		// state, each shard writing its own index range).
-		sigmaP := make([]float64, g.M())
-		s.ForEachParallel(workers, func(idx int, e graph.Edge) {
-			k, ok := scheme.Level(e.W)
-			if !ok {
+		// Sample t deferred sparsifiers, per weight level (Lemma 11: the
+		// union of per-class sparsifiers is the sparsifier we need), in
+		// ONE fused chunked pass over the source: each staged chunk gets
+		// its promise multipliers ς_e = exp(-α(cov_e/ŵ_k - λ))/ŵ_k
+		// evaluated in parallel shards (the broadcast read-only dual
+		// state, exactly as the distributed mappers would), then streams
+		// into every (use, level) construction. The (use, level) pairs
+		// are independent given their seeds, so the seeds are split
+		// sequentially up front — in the exact order the sequential loop
+		// would draw them — and the constructions consume the chunk
+		// concurrently, each slotted at its (q, level) position. Nothing
+		// of size m is ever materialized: the staging chunk is constant,
+		// the constructions hold only their samples.
+		batches := make([][]*sparsify.DeferredBuilder, tUses)
+		for q := 0; q < tUses; q++ {
+			batches[q] = make([]*sparsify.DeferredBuilder, len(liveLevels))
+			for slot, k := range liveLevels {
+				b, berr := sparsify.NewDeferredBuilder(n, levelCount[k], gammaChi, sparsify.Config{
+					Xi:   prof.SparsifierXi,
+					K:    prof.SparsifierK,
+					Seed: rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
+				})
+				if berr != nil {
+					return nil, berr
+				}
+				batches[q][slot] = b
+			}
+		}
+		dispatch := func(buf []chunkEdge) {
+			if len(buf) == 0 {
 				return
 			}
-			r := state.CoverageRatio(e.U, e.V, k)
-			sigmaP[idx] = math.Exp(-alpha*(r-lambda)) / wHat(k)
-		})
-
-		// Sample t deferred sparsifiers, per weight level (Lemma 11: the
-		// union of per-class sparsifiers is the sparsifier we need). The
-		// (use, level) pairs are independent given their seeds, so the
-		// seeds are split sequentially up front — in the exact order the
-		// sequential loop would draw them — and the constructions fan out
-		// across the worker pool, each slotted back into its (q, level)
-		// position.
-		type deferredBatch struct {
-			defs []*sparsify.Deferred
-		}
-		type defJob struct {
-			q, slot int
-			idxs    []int
-			seed    uint64
-		}
-		batches := make([]deferredBatch, tUses)
-		var jobs []defJob
-		for q := 0; q < tUses; q++ {
-			slot := 0
-			for k, idxs := range perLevelEdges {
-				if len(idxs) == 0 {
-					continue
+			parallel.ForEachShard(workers, len(buf), func(_ int, sh parallel.Range) {
+				for i := sh.Lo; i < sh.Hi; i++ {
+					ce := &buf[i]
+					r := state.CoverageRatio(ce.u, ce.v, int(ce.k))
+					ce.sigma = math.Exp(-alpha*(r-lambda)) / wHat(int(ce.k))
 				}
-				jobs = append(jobs, defJob{
-					q: q, slot: slot, idxs: idxs,
-					seed: rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
-				})
-				slot++
-			}
-			batches[q].defs = make([]*sparsify.Deferred, slot)
-		}
-		type defResult struct {
-			d   *sparsify.Deferred
-			err error
-		}
-		defInner := innerWorkers(workers, len(jobs))
-		defResults := parallel.Map(workers, len(jobs), func(ji int) defResult {
-			j := jobs[ji]
-			sig := make([]float64, len(j.idxs))
-			for li, ei := range j.idxs {
-				sig[li] = sigmaP[ei]
-			}
-			local := j.idxs
-			d, derr := sparsify.NewDeferred(g.N(), func(i int) (int32, int32) {
-				e := g.Edge(local[i])
-				return e.U, e.V
-			}, len(j.idxs), sig, gammaChi, sparsify.Config{
-				Xi:      prof.SparsifierXi,
-				K:       prof.SparsifierK,
-				Seed:    j.seed,
-				Workers: defInner,
 			})
-			return defResult{d: d, err: derr}
-		})
-		sampledTotal := 0
-		for ji, r := range defResults {
-			if r.err != nil {
-				return nil, r.err
+			for slot := range bySlot {
+				bySlot[slot] = bySlot[slot][:0]
 			}
-			batches[jobs[ji].q].defs[jobs[ji].slot] = r.d
-			sampledTotal += r.d.Size()
+			for i := range buf {
+				slot := slotOf[buf[i].k]
+				bySlot[slot] = append(bySlot[slot], int32(i))
+			}
+			parallel.Run(workers, len(jobs), func(ji int) {
+				job := jobs[ji]
+				b := batches[job.q][job.slot]
+				for _, i := range bySlot[job.slot] {
+					ce := &buf[i]
+					b.Add(ce.local, ce.u, ce.v, ce.w, ce.orig, ce.sigma)
+				}
+			})
 		}
-		extraPasses++ // the sampling pass over the input
+		for k := range levelCursor {
+			levelCursor[k] = 0
+		}
+		acct.Alloc(solveChunkEdges) // the staging buffer is central storage
+		src.ForEach(func(idx int, e graph.Edge) bool {
+			k, ok := scheme.Level(e.W)
+			if !ok {
+				return true
+			}
+			chunk = append(chunk, chunkEdge{
+				u: e.U, v: e.V, k: int32(k),
+				orig: idx, local: levelCursor[k], w: e.W,
+			})
+			levelCursor[k]++
+			if len(chunk) == solveChunkEdges {
+				dispatch(chunk)
+				chunk = chunk[:0]
+			}
+			return true
+		})
+		dispatch(chunk)
+		chunk = chunk[:0]
+		acct.Free(solveChunkEdges)
+		// Seal the constructions (the criticalLevel scans fan out over
+		// the job grid and merge in job order).
+		flat := parallel.Map(workers, len(jobs), func(ji int) *sparsify.Deferred {
+			return batches[jobs[ji].q][jobs[ji].slot].Finish()
+		})
+		defs := make([][]*sparsify.Deferred, tUses)
+		sampledTotal := 0
+		for ji, d := range flat {
+			if defs[jobs[ji].q] == nil {
+				defs[jobs[ji].q] = make([]*sparsify.Deferred, len(liveLevels))
+			}
+			defs[jobs[ji].q][jobs[ji].slot] = d
+			sampledTotal += d.Size()
+		}
 		acct.Alloc(sampledTotal)
 		if cur := acct.Current(); cur > res.Stats.PeakSampleEdges {
 			res.Stats.PeakSampleEdges = cur
 		}
 
 		// Offline solve on the union of sampled edges (Algorithm 2 step
-		// 5); raise β on improvement (step 6).
-		union := collectUnion(batches[0].defs, perLevelEdges)
-		for q := 1; q < len(batches); q++ {
-			for idx := range collectUnion(batches[q].defs, perLevelEdges) {
-				union[idx] = true
+		// 5); raise β on improvement (step 6). The stored Items carry
+		// endpoints and original weights, so the union subgraph is built
+		// from the samples alone — no lookback into the source.
+		union := map[int]graph.Edge{}
+		for q := range defs {
+			for _, d := range defs[q] {
+				for _, it := range d.Items() {
+					union[it.Orig] = graph.Edge{U: it.U, V: it.V, W: it.W}
+				}
 			}
 		}
 		unionIdx := make([]int, 0, len(union))
@@ -273,7 +369,16 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		}
 		sort.Ints(unionIdx)
 		res.Stats.UnionSizes = append(res.Stats.UnionSizes, len(unionIdx))
-		sub := g.Subgraph(unionIdx)
+		sub := graph.New(n)
+		for v := 0; v < n; v++ {
+			if b := src.B(v); b != 1 {
+				sub.SetB(v, b)
+			}
+		}
+		for _, idx := range unionIdx {
+			e := union[idx]
+			sub.MustAddEdge(int(e.U), int(e.V), e.W)
+		}
 		cand, _ := matching.OfflineB(sub, matching.OfflineConfig{ExactLimit: prof.OfflineExactLimit})
 		candHat := 0.0
 		for ci, si := range cand.EdgeIdx {
@@ -290,17 +395,20 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		}
 		if candHat > bestHat {
 			bestHat = candHat
-			// Remap subgraph edge indices back to g.
+			// Remap subgraph edge indices back to source indices.
 			remap := &matching.Matching{Mult: []int{}}
+			w := 0.0
 			for ci, si := range cand.EdgeIdx {
 				remap.EdgeIdx = append(remap.EdgeIdx, unionIdx[si])
+				mult := 1
 				if cand.Mult != nil {
-					remap.Mult = append(remap.Mult, cand.Mult[ci])
-				} else {
-					remap.Mult = append(remap.Mult, 1)
+					mult = cand.Mult[ci]
 				}
+				remap.Mult = append(remap.Mult, mult)
+				w += sub.Edge(si).W * float64(mult)
 			}
 			res.Matching = remap
+			bestWeight = w
 		}
 		if candHat > beta {
 			beta = candHat * (1 + eps)
@@ -309,7 +417,7 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		// Sequential refinement and use of the t sparsifiers (the right
 		// half of Figure 1: no further input access).
 		for q := 0; q < tUses; q++ {
-			support := refineBatch(batches[q].defs, perLevelEdges, g, scheme, state, alpha, lambda, prof.StaleRefinement, sigmaP, workers)
+			support := refineBatch(defs[q], liveLevels, scheme, state, alpha, lambda, prof.StaleRefinement, workers)
 			res.Stats.OracleUses++
 			mini := runMiniOracle(support, beta, eps, prof, bOf, wHat, nl, maxNorm)
 			res.Stats.MicroCalls += mini.microCalls
@@ -325,18 +433,34 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 		}
 		acct.Free(sampledTotal)
 
-		lambda = state.Lambda(g)
-		extraPasses++
+		lambda = lambdaOf(src, scheme, state) // pass: λ re-evaluation
 	}
 	if lambda >= target {
 		res.Stats.EarlyStopped = true
 	}
 	res.Lambda = lambda
-	res.Stats.Passes = s.Passes() + extraPasses
-	res.Stats.DualStateWords = g.N()*nl + 4*len(state.zsets)
+	res.Stats.Passes = src.Passes() - passes0
+	res.Stats.PeakWords = acct.Peak()
+	res.Stats.DualStateWords = n*nl + 4*len(state.zsets)
 	res.DualObjective = scheme.Unscale(state.Objective(bOf))
-	res.Weight = res.Matching.Weight(g)
+	res.Weight = bestWeight
 	return res, nil
+}
+
+// lambdaOf computes λ = min over the source's kept edges of the
+// normalized coverage (one metered pass; in the paper's models this is
+// one round of sketch evaluation).
+func lambdaOf(src stream.Source, scheme *levels.Scheme, state *dualState) float64 {
+	lam := math.Inf(1)
+	src.ForEach(func(_ int, e graph.Edge) bool {
+		if k, ok := scheme.Level(e.W); ok {
+			if r := state.CoverageRatio(e.U, e.V, k); r < lam {
+				lam = r
+			}
+		}
+		return true
+	})
+	return lam
 }
 
 // innerWorkers splits a worker budget between an outer job fan-out and
@@ -350,70 +474,39 @@ func innerWorkers(workers, jobs int) int {
 	return workers / jobs
 }
 
-// collectUnion maps Deferred-local stored indices back to graph edge
-// indices using the per-level index lists (batch i corresponds to level
-// order of perLevelEdges traversal at construction).
-func collectUnion(defs []*sparsify.Deferred, perLevelEdges [][]int) map[int]bool {
-	union := map[int]bool{}
-	di := 0
-	for _, idxs := range perLevelEdges {
-		if len(idxs) == 0 {
-			continue
-		}
-		d := defs[di]
-		di++
-		for _, localIdx := range d.StoredEdges() {
-			union[idxs[localIdx]] = true
-		}
-	}
-	return union
-}
-
 // refineBatch reveals current multipliers for the stored edges of one
-// deferred batch (Definition 4's reveal step) and emits the support.
-// With stale=true (ablation) the sampling-time promise values are used
-// instead, skipping the refinement. The per-level reveals run across the
-// worker pool — every reveal is a read-only evaluation of the frozen dual
-// state — and the per-level supports concatenate in level order, so the
-// support is identical for any worker count.
-func refineBatch(defs []*sparsify.Deferred, perLevelEdges [][]int, g *graph.Graph,
+// deferred batch (Definition 4's reveal step) and emits the support. The
+// reveals work entirely from the stored Items — endpoints and levels
+// travel with the sample, so no source access happens here (the right
+// half of Figure 1). With stale=true (ablation) the sampling-time
+// promise values carried in the Items are used instead, skipping the
+// refinement. The per-level reveals run across the worker pool — every
+// reveal is a read-only evaluation of the frozen dual state — and the
+// per-level supports concatenate in level order, so the support is
+// identical for any worker count.
+func refineBatch(defs []*sparsify.Deferred, liveLevels []int,
 	scheme *levels.Scheme, state *dualState, alpha, lambda float64,
-	stale bool, promise []float64, workers int) []supportEdge {
+	stale bool, workers int) []supportEdge {
 
-	type levelRef struct {
-		d    *sparsify.Deferred
-		k    int
-		idxs []int
-	}
-	var levelsWork []levelRef
-	di := 0
-	for k, idxs := range perLevelEdges {
-		if len(idxs) == 0 {
-			continue
-		}
-		levelsWork = append(levelsWork, levelRef{d: defs[di], k: k, idxs: idxs})
-		di++
-	}
 	// The level fan-out is the outer parallelism; when there are fewer
 	// levels than workers (single weight class is common for unit
 	// weights) push the leftover pool down into the per-item reveals.
-	inner := innerWorkers(workers, len(levelsWork))
-	perLevel := parallel.Map(workers, len(levelsWork), func(li int) []supportEdge {
-		lw := levelsWork[li]
-		sp := lw.d.RefineParallel(inner, func(localIdx int) float64 {
+	inner := innerWorkers(workers, len(defs))
+	perLevel := parallel.Map(workers, len(defs), func(li int) []supportEdge {
+		k := liveLevels[li]
+		sp := defs[li].RefineWith(inner, func(it sparsify.Item) float64 {
 			if stale {
-				return promise[lw.idxs[localIdx]]
+				return it.Weight // the sampling-time promise value
 			}
-			e := g.Edge(lw.idxs[localIdx])
-			r := state.CoverageRatio(e.U, e.V, lw.k)
-			return math.Exp(-alpha*(r-lambda)) / scheme.WHat(lw.k)
+			r := state.CoverageRatio(it.U, it.V, k)
+			return math.Exp(-alpha*(r-lambda)) / scheme.WHat(k)
 		})
 		out := make([]supportEdge, 0, len(sp.Items))
 		for _, item := range sp.Items {
 			out = append(out, supportEdge{
-				u: item.U, v: item.V, k: lw.k,
+				u: item.U, v: item.V, k: k,
 				w:       item.Weight,
-				origIdx: lw.idxs[item.EdgeIdx],
+				origIdx: item.Orig,
 			})
 		}
 		return out
@@ -427,31 +520,28 @@ func refineBatch(defs []*sparsify.Deferred, perLevelEdges [][]int, g *graph.Grap
 
 // buildInitialSolution computes per-level maximal b-matchings by
 // filtering (Lemma 20) and installs the Lemma 21 assignment
-// x_i(k) = r·ŵ_k on saturated vertices. Returns the rounds consumed
-// (levels run conceptually in parallel: the max over levels — and with
-// workers > 1 they genuinely do, each with a pre-split seed, entries
-// merging in level order). The jobs meter nothing shared; each level's
-// FilterStats replay onto acct in level order afterwards, so acct's
-// rounds, current, and peak end up exactly as a sequential run leaves
-// them for any worker count — concurrent levels never inflate the
-// measured peak.
-func buildInitialSolution(g *graph.Graph, scheme *levels.Scheme,
+// x_i(k) = r·ŵ_k on saturated vertices. Each level's stream is a
+// Filtered view of the source — no per-level subgraph is materialized;
+// the filter holds O(n) residuals and its metered transient sample.
+// Returns the rounds consumed (levels run conceptually in parallel: the
+// max over levels — and with workers > 1 they genuinely do, each with a
+// pre-split seed, entries merging in level order). The jobs meter
+// nothing shared; each level's FilterStats replay onto acct in level
+// order afterwards, so acct's rounds, current, and peak end up exactly
+// as a sequential run leaves them for any worker count — concurrent
+// levels never inflate the measured peak.
+func buildInitialSolution(src stream.Source, liveLevels []int, scheme *levels.Scheme,
 	prof Profile, eps, p float64, rng *xrand.RNG, acct *stream.SpaceAccountant,
 	state *dualState, workers int) int {
 
 	r := prof.RInitFactor * eps
-	parts := scheme.Partition(g)
 	type levelJob struct {
 		k    int
-		idxs []int
 		seed uint64
 	}
-	var jobs []levelJob
-	for k, idxs := range parts {
-		if len(idxs) == 0 {
-			continue
-		}
-		jobs = append(jobs, levelJob{k: k, idxs: idxs, seed: rng.Split(uint64(k)).Uint64()})
+	jobs := make([]levelJob, 0, len(liveLevels))
+	for _, k := range liveLevels {
+		jobs = append(jobs, levelJob{k: k, seed: rng.Split(uint64(k)).Uint64()})
 	}
 	type levelResult struct {
 		entries    []xEntry
@@ -460,13 +550,14 @@ func buildInitialSolution(g *graph.Graph, scheme *levels.Scheme,
 	}
 	results := parallel.Map(workers, len(jobs), func(ji int) levelResult {
 		j := jobs[ji]
-		sub := g.Subgraph(j.idxs)
-		subStream := stream.NewEdgeStream(sub)
-		m, stats := matching.MaximalBMatchingFilter(subStream, p, j.seed, nil)
-		deg := m.MatchedDegrees(sub)
+		view := stream.NewFilter(src, func(_ int, e graph.Edge) bool {
+			ek, ok := scheme.Level(e.W)
+			return ok && ek == j.k
+		})
+		_, stats := matching.MaximalBMatchingFilter(view, p, j.seed, nil)
 		var entries []xEntry
-		for v := 0; v < sub.N(); v++ {
-			if deg[v] >= sub.B(v) { // saturated at level k
+		for v := 0; v < src.N(); v++ {
+			if stats.FinalResidual[v] == 0 { // saturated at level k
 				entries = append(entries, xEntry{v: int32(v), k: j.k, val: r * scheme.WHat(j.k)})
 			}
 		}

@@ -11,7 +11,7 @@ import (
 
 func solveRatio(t *testing.T, g *graph.Graph, eps float64, seed uint64) (float64, *Result) {
 	t.Helper()
-	res, err := Solve(g, Options{Eps: eps, P: 2, Seed: seed})
+	res, err := SolveGraph(g, Options{Eps: eps, P: 2, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func solveRatio(t *testing.T, g *graph.Graph, eps float64, seed uint64) (float64
 
 func TestSolveEmptyGraph(t *testing.T) {
 	g := graph.New(5)
-	res, err := Solve(g, Options{Eps: 0.25, P: 2})
+	res, err := SolveGraph(g, Options{Eps: 0.25, P: 2})
 	if err != nil || res.Weight != 0 {
 		t.Fatalf("empty graph: %v %v", res, err)
 	}
@@ -36,10 +36,10 @@ func TestSolveEmptyGraph(t *testing.T) {
 func TestSolveValidatesOptions(t *testing.T) {
 	g := graph.New(2)
 	g.MustAddEdge(0, 1, 1)
-	if _, err := Solve(g, Options{Eps: 0, P: 2}); err == nil {
+	if _, err := SolveGraph(g, Options{Eps: 0, P: 2}); err == nil {
 		t.Fatal("eps=0 accepted")
 	}
-	if _, err := Solve(g, Options{Eps: 0.25, P: 1}); err == nil {
+	if _, err := SolveGraph(g, Options{Eps: 0.25, P: 1}); err == nil {
 		t.Fatal("p=1 accepted")
 	}
 }
@@ -90,7 +90,7 @@ func TestSolveTriangleChain(t *testing.T) {
 func TestSolveBMatching(t *testing.T) {
 	g := graph.GNM(30, 150, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 9}, 19)
 	graph.WithRandomB(g, 3, false, 23)
-	res, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 29})
+	res, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 29})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestSolveImprovesWithSmallerEps(t *testing.T) {
 
 func TestSolveStatsAccounting(t *testing.T) {
 	g := graph.GNM(50, 400, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 30}, 41)
-	res, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 43})
+	res, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 43})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestSolveDualBoundsPrimal(t *testing.T) {
 	// must upper-bound the kept-edge optimum when λ > 0. We check
 	// against the overall optimum with discretization slack.
 	g := graph.GNM(40, 250, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, 47)
-	res, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 53})
+	res, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 53})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +169,11 @@ func TestSolveRoundsScaleWithP(t *testing.T) {
 		t.Skip("short mode")
 	}
 	g := graph.GNM(60, 800, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 12}, 59)
-	res2, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 61})
+	res2, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 61})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res4, err := Solve(g, Options{Eps: 0.25, P: 4, Seed: 61})
+	res4, err := SolveGraph(g, Options{Eps: 0.25, P: 4, Seed: 61})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,11 +190,11 @@ func TestSolveRoundsScaleWithP(t *testing.T) {
 
 func TestSolveDeterministicForSeed(t *testing.T) {
 	g := graph.GNM(40, 220, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 9}, 67)
-	a, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 71})
+	a, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 71})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 71})
+	b, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 71})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestSolveFaithfulProfileSmall(t *testing.T) {
 	g := graph.GNM(12, 30, graph.WeightConfig{Mode: graph.UnitWeights}, 73)
 	prof := Faithful(0.25)
 	prof.InnerIterCap = 50 // keep the smoke test fast
-	res, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 79, Profile: &prof, MaxRounds: 4})
+	res, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 79, Profile: &prof, MaxRounds: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestSolvePlantedLargeGraph(t *testing.T) {
 	// Larger instance with a planted optimum: exact solver is skipped and
 	// the planted weight gives the reference.
 	g, planted := graph.PlantedMatching(200, 2000, 100, 3, 83)
-	res, err := Solve(g, Options{Eps: 0.25, P: 2, Seed: 89})
+	res, err := SolveGraph(g, Options{Eps: 0.25, P: 2, Seed: 89})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestSolveLargerEps8Performance(t *testing.T) {
 	}
 	g := graph.GNM(128, 1024, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 50}, 128)
 	start := time.Now()
-	res, err := Solve(g, Options{Eps: 0.125, P: 2, Seed: 8})
+	res, err := SolveGraph(g, Options{Eps: 0.125, P: 2, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

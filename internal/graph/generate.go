@@ -36,7 +36,8 @@ type WeightConfig struct {
 	Scale  float64 // ExpWeights: exponent scale (default 2)
 }
 
-func (wc WeightConfig) draw(r *xrand.RNG) float64 {
+// Draw samples one edge weight from the configured law.
+func (wc WeightConfig) Draw(r *xrand.RNG) float64 {
 	switch wc.Mode {
 	case UnitWeights:
 		return 1
@@ -88,7 +89,7 @@ func GNM(n, m int, wc WeightConfig, seed uint64) *Graph {
 			continue
 		}
 		seen[k] = true
-		g.MustAddEdge(u, v, wc.draw(r))
+		g.MustAddEdge(u, v, wc.Draw(r))
 	}
 	return g
 }
@@ -103,7 +104,7 @@ func GNP(n int, p float64, wc WeightConfig, seed uint64) *Graph {
 	if p >= 1 {
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
-				g.MustAddEdge(u, v, wc.draw(xrand.New(seed+uint64(u*n+v))))
+				g.MustAddEdge(u, v, wc.Draw(xrand.New(seed+uint64(u*n+v))))
 			}
 		}
 		return g
@@ -133,7 +134,7 @@ func GNP(n int, p float64, wc WeightConfig, seed uint64) *Graph {
 			rowLen--
 		}
 		b := a + 1 + rem
-		g.MustAddEdge(int(a), int(b), wc.draw(r))
+		g.MustAddEdge(int(a), int(b), wc.Draw(r))
 	}
 	return g
 }
@@ -156,7 +157,7 @@ func Bipartite(nl, nr, m int, wc WeightConfig, seed uint64) *Graph {
 			continue
 		}
 		seen[k] = true
-		g.MustAddEdge(u, v, wc.draw(r))
+		g.MustAddEdge(u, v, wc.Draw(r))
 	}
 	return g
 }
@@ -212,7 +213,7 @@ func PowerLaw(n int, avgDeg float64, exponent float64, wc WeightConfig, seed uin
 			continue
 		}
 		seen[k] = true
-		g.MustAddEdge(u, v, wc.draw(r))
+		g.MustAddEdge(u, v, wc.Draw(r))
 	}
 	return g
 }
@@ -233,7 +234,7 @@ func Geometric(n int, radius float64, wc WeightConfig, seed uint64) *Graph {
 		for j := i + 1; j < n; j++ {
 			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
 			if dx*dx+dy*dy <= r2 {
-				g.MustAddEdge(i, j, wc.draw(r))
+				g.MustAddEdge(i, j, wc.Draw(r))
 			}
 		}
 	}

@@ -97,6 +97,84 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
+// ReadDIMACS parses a graph in DIMACS edge format: comment lines start
+// with 'c', one problem line "p edge <n> <m>" precedes the edges, and
+// each edge line is "e <u> <v> [w]" with 1-indexed vertices (weight
+// defaults to 1). The declared edge count is checked against the lines
+// actually read.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	var g *Graph
+	declared := -1
+	read := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		parts := strings.Fields(line)
+		switch parts[0] {
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
+			}
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("graph: line %d: problem line needs 'p edge n m'", lineNo)
+			}
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, parts[2])
+			}
+			m, err := strconv.Atoi(parts[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", lineNo, parts[3])
+			}
+			g = New(n)
+			declared = m
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", lineNo)
+			}
+			if len(parts) < 3 {
+				return nil, fmt.Errorf("graph: line %d: need 'e u v [w]'", lineNo)
+			}
+			u, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			v, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			w := 1.0
+			if len(parts) >= 4 {
+				if w, err = strconv.ParseFloat(parts[3], 64); err != nil {
+					return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				}
+			}
+			if err := g.AddEdge(u-1, v-1, w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			read++
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, parts[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing DIMACS problem line")
+	}
+	if read != declared {
+		return nil, fmt.Errorf("graph: DIMACS declares %d edges, found %d", declared, read)
+	}
+	return g, nil
+}
+
 // WriteEdgeList writes g in the format ReadEdgeList accepts.
 func WriteEdgeList(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)

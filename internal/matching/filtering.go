@@ -24,19 +24,25 @@ type FilterStats struct {
 	Rounds        int   // sampling rounds (adaptive accesses to the input)
 	PeakSample    int   // largest sample held centrally
 	EdgesPerRound []int // surviving edges at the start of each round
+	// FinalResidual is the per-vertex residual capacity at termination:
+	// b_v minus the matched degree. A zero entry marks a saturated
+	// vertex (the quantity Lemma 21's initial assignment needs), exposed
+	// here so streaming callers need no random access to recompute
+	// degrees from the matching.
+	FinalResidual []int
 }
 
 // MaximalMatchingFilter computes a maximal matching of the stream using
 // memory budget ~ n^(1+1/p) edges. It mirrors the paper's accounting: one
 // round per sampling pass. acct may be nil.
-func MaximalMatchingFilter(s *stream.EdgeStream, p float64, seed uint64, acct *stream.SpaceAccountant) (*Matching, FilterStats) {
+func MaximalMatchingFilter(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccountant) (*Matching, FilterStats) {
 	return filterCore(s, p, seed, acct, nil)
 }
 
 // MaximalBMatchingFilter is the b-matching variant (Lemma 20): choosing
 // an edge raises its multiplicity to the residual min{b_u, b_v},
 // saturating an endpoint, so the survivor analysis of [25] still applies.
-func MaximalBMatchingFilter(s *stream.EdgeStream, p float64, seed uint64, acct *stream.SpaceAccountant) (*Matching, FilterStats) {
+func MaximalBMatchingFilter(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccountant) (*Matching, FilterStats) {
 	resid := make([]int, s.N())
 	for v := range resid {
 		resid[v] = s.B(v)
@@ -45,7 +51,7 @@ func MaximalBMatchingFilter(s *stream.EdgeStream, p float64, seed uint64, acct *
 }
 
 // filterCore runs filtering; resid == nil means all capacities are 1.
-func filterCore(s *stream.EdgeStream, p float64, seed uint64, acct *stream.SpaceAccountant, resid []int) (*Matching, FilterStats) {
+func filterCore(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccountant, resid []int) (*Matching, FilterStats) {
 	n := float64(s.N())
 	budget := int(math.Ceil(math.Pow(n, 1+1/p)))
 	if budget < 64 {
@@ -131,6 +137,7 @@ func filterCore(s *stream.EdgeStream, p float64, seed uint64, acct *stream.Space
 			continue
 		}
 	}
+	stats.FinalResidual = resid
 	return &out, stats
 }
 
@@ -138,7 +145,7 @@ func filterCore(s *stream.EdgeStream, p float64, seed uint64, acct *stream.Space
 // style of [25]: edges are bucketed into powers-of-two weight classes and
 // classes are processed from heaviest to lightest, each with the
 // unweighted filtering routine restricted to still-free capacity.
-func WeightedFilter(s *stream.EdgeStream, p float64, seed uint64, acct *stream.SpaceAccountant) (*Matching, FilterStats) {
+func WeightedFilter(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccountant) (*Matching, FilterStats) {
 	maxW := 0.0
 	s.ForEach(func(_ int, e graph.Edge) bool {
 		if e.W > maxW {
@@ -148,12 +155,13 @@ func WeightedFilter(s *stream.EdgeStream, p float64, seed uint64, acct *stream.S
 	})
 	stats := FilterStats{Rounds: 1} // the max-weight pass
 	out := Matching{Mult: []int{}}
-	if maxW == 0 {
-		return &out, stats
-	}
 	resid := make([]int, s.N())
 	for v := range resid {
 		resid[v] = s.B(v)
+	}
+	if maxW == 0 {
+		stats.FinalResidual = resid
+		return &out, stats
 	}
 	n := float64(s.N())
 	budget := int(math.Ceil(math.Pow(n, 1+1/p)))
@@ -226,5 +234,6 @@ func WeightedFilter(s *stream.EdgeStream, p float64, seed uint64, acct *stream.S
 			}
 		}
 	}
+	stats.FinalResidual = resid
 	return &out, stats
 }

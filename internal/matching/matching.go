@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // Matching is a set of edges of a host graph, by edge index, with
@@ -78,6 +79,47 @@ func (m *Matching) Validate(g *graph.Graph) error {
 	for v := 0; v < g.N(); v++ {
 		if deg[v] > g.B(v) {
 			return fmt.Errorf("matching: vertex %d has matched degree %d > b=%d", v, deg[v], g.B(v))
+		}
+	}
+	return nil
+}
+
+// ValidateStream checks degree feasibility against any Source in one
+// metered pass and O(|M|) memory: matched indices are collected, their
+// edges picked up during the sweep, and per-vertex degrees checked
+// against the capacities. The streaming twin of Validate for instances
+// that are never materialized.
+func (m *Matching) ValidateStream(src stream.Source) error {
+	mult := make(map[int]int, len(m.EdgeIdx))
+	for i, idx := range m.EdgeIdx {
+		if idx < 0 || idx >= src.Len() {
+			return fmt.Errorf("matching: edge index %d out of range", idx)
+		}
+		c := 1
+		if m.Mult != nil {
+			c = m.Mult[i]
+			if c < 1 {
+				return fmt.Errorf("matching: non-positive multiplicity %d", c)
+			}
+		}
+		mult[idx] += c
+	}
+	deg := make([]int, src.N())
+	found := 0
+	src.ForEach(func(idx int, e graph.Edge) bool {
+		if c, ok := mult[idx]; ok {
+			deg[e.U] += c
+			deg[e.V] += c
+			found++
+		}
+		return found < len(mult)
+	})
+	if found < len(mult) {
+		return fmt.Errorf("matching: %d matched indices missing from the stream", len(mult)-found)
+	}
+	for v := 0; v < src.N(); v++ {
+		if b := src.B(v); deg[v] > b {
+			return fmt.Errorf("matching: vertex %d has matched degree %d > b=%d", v, deg[v], b)
 		}
 	}
 	return nil

@@ -13,11 +13,14 @@
 //     cardinality (the engine inside McGregor's (1-ε) multi-pass scheme,
 //     truncated to length-3 augmentations).
 //
-// All functions consume a stream.EdgeStream so pass counts are measured,
+// All functions consume a stream.Source so pass counts are measured and
+// any backend (in-memory, file, generator) can serve the stream,
 // and hold only O(n) matching state — the semi-streaming budget.
 package semistream
 
 import (
+	"slices"
+
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/stream"
@@ -25,7 +28,7 @@ import (
 
 // OnePassGreedy returns a maximal matching built in a single pass: an
 // edge is taken iff both endpoints are currently free.
-func OnePassGreedy(s *stream.EdgeStream) *matching.Matching {
+func OnePassGreedy(s stream.Source) *matching.Matching {
 	used := make([]bool, s.N())
 	out := &matching.Matching{}
 	s.ForEach(func(idx int, e graph.Edge) bool {
@@ -41,7 +44,7 @@ func OnePassGreedy(s *stream.EdgeStream) *matching.Matching {
 // OnePassReplace runs McGregor's replacement algorithm with parameter
 // gamma > 0: edge e replaces its conflicting matched edges C(e) when
 // w(e) >= (1+gamma)·w(C(e)).
-func OnePassReplace(s *stream.EdgeStream, gamma float64) *matching.Matching {
+func OnePassReplace(s stream.Source, gamma float64) *matching.Matching {
 	n := s.N()
 	matchEdge := make([]int, n) // edge index matched at v, or -1
 	weightAt := make([]float64, n)
@@ -79,7 +82,7 @@ func OnePassReplace(s *stream.EdgeStream, gamma float64) *matching.Matching {
 	for idx := range inM {
 		out.EdgeIdx = append(out.EdgeIdx, idx)
 	}
-	sortInts(out.EdgeIdx)
+	slices.Sort(out.EdgeIdx)
 	return out
 }
 
@@ -88,7 +91,7 @@ func OnePassReplace(s *stream.EdgeStream, gamma float64) *matching.Matching {
 // round, up to maxPasses rounds or until no augmentation is found.
 // Starting from a maximal matching this converges toward a 2/3
 // approximation of maximum cardinality.
-func ShortAugmentPasses(s *stream.EdgeStream, m *matching.Matching, maxPasses int) *matching.Matching {
+func ShortAugmentPasses(s stream.Source, m *matching.Matching, maxPasses int) *matching.Matching {
 	n := s.N()
 	cur := map[int]bool{}
 	for _, idx := range m.EdgeIdx {
@@ -146,9 +149,18 @@ func ShortAugmentPasses(s *stream.EdgeStream, m *matching.Matching, maxPasses in
 			return true
 		})
 		// Resolve: an augmenting path needs wings at both endpoints with
-		// distinct free vertices not already used this round.
+		// distinct free vertices not already used this round. Matched
+		// edges are visited in sorted index order — map iteration order
+		// would make the conflict resolution (and thus the result)
+		// nondeterministic run to run.
+		matchedIdxs := make([]int, 0, len(byMatched))
+		for mi := range byMatched {
+			matchedIdxs = append(matchedIdxs, mi)
+		}
+		slices.Sort(matchedIdxs)
 		augmented := false
-		for _, w := range byMatched {
+		for _, mi := range matchedIdxs {
+			w := byMatched[mi]
 			if w.uWing == -1 || w.vWing == -1 || w.uFree == w.vFree {
 				continue
 			}
@@ -170,14 +182,6 @@ func ShortAugmentPasses(s *stream.EdgeStream, m *matching.Matching, maxPasses in
 	for idx := range cur {
 		out.EdgeIdx = append(out.EdgeIdx, idx)
 	}
-	sortInts(out.EdgeIdx)
+	slices.Sort(out.EdgeIdx)
 	return out
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

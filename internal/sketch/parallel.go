@@ -3,6 +3,7 @@ package sketch
 import (
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/stream"
 )
 
 // Parallel incidence-sketch construction (DESIGN.md, "Parallel
@@ -57,12 +58,7 @@ func (b *Bank) AddEdges(edges []graph.Edge, workers int) {
 			shardOf[v] = int32(si)
 		}
 	}
-	type upd struct {
-		v     int32
-		delta int64
-		key   uint64
-	}
-	buckets := make([][]upd, len(shards))
+	buckets := make([][]bankUpd, len(shards))
 	for _, e := range edges {
 		if e.U == e.V {
 			panic("sketch: self loop")
@@ -72,10 +68,22 @@ func (b *Bank) AddEdges(edges []graph.Edge, workers int) {
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		buckets[shardOf[lo]] = append(buckets[shardOf[lo]], upd{v: lo, delta: 1, key: key})
-		buckets[shardOf[hi]] = append(buckets[shardOf[hi]], upd{v: hi, delta: -1, key: key})
+		buckets[shardOf[lo]] = append(buckets[shardOf[lo]], bankUpd{v: lo, delta: 1, key: key})
+		buckets[shardOf[hi]] = append(buckets[shardOf[hi]], bankUpd{v: hi, delta: -1, key: key})
 	}
-	parallel.Run(workers, len(shards), func(si int) {
+	b.applyBuckets(workers, buckets)
+}
+
+// bankUpd is one endpoint update routed to its owning vertex shard.
+type bankUpd struct {
+	v     int32
+	delta int64
+	key   uint64
+}
+
+// applyBuckets has each shard's owner apply its own updates in order.
+func (b *Bank) applyBuckets(workers int, buckets [][]bankUpd) {
+	parallel.Run(workers, len(buckets), func(si int) {
 		for _, u := range buckets[si] {
 			for r := range b.sketches {
 				b.sketches[r][u.v].Update(u.key, u.delta)
@@ -84,11 +92,78 @@ func (b *Bank) AddEdges(edges []graph.Edge, workers int) {
 	})
 }
 
+// bankSourceChunk is the staging granule of AddEdgesSource: updates are
+// bucketed and applied per chunk of this many edges, so a source-fed
+// build holds O(1) staged records no matter how long the stream is.
+const bankSourceChunk = 1 << 14
+
+// AddEdgesSource inserts every edge served by src into the bank — one
+// metered pass, since the linear sketches are exactly the one-pass
+// structure of the paper — with the updates sharded by vertex range
+// across workers like AddEdges. The scan buckets updates by owning
+// shard in constant-size chunks and applies each chunk before staging
+// the next, so the staged state is O(1) in m (the edges are never
+// resident). Linear sketches make chunked application equal to one-shot
+// application — per-vertex update order is edge order either way — so
+// the result is bit-identical to AddEdges over the same edge sequence
+// for any worker count.
+func (b *Bank) AddEdgesSource(src stream.Source, workers int) {
+	shards := parallel.Shards(b.spec.n, parallel.Workers(workers))
+	if len(shards) <= 1 {
+		// Sequential: skip the bucketing pass entirely.
+		src.ForEach(func(_ int, e graph.Edge) bool {
+			b.AddEdge(e.U, e.V)
+			return true
+		})
+		return
+	}
+	shardOf := make([]int32, b.spec.n)
+	for si, sh := range shards {
+		for v := sh.Lo; v < sh.Hi; v++ {
+			shardOf[v] = int32(si)
+		}
+	}
+	buckets := make([][]bankUpd, len(shards))
+	staged := 0
+	flush := func() {
+		b.applyBuckets(workers, buckets)
+		for si := range buckets {
+			buckets[si] = buckets[si][:0]
+		}
+		staged = 0
+	}
+	src.ForEach(func(_ int, e graph.Edge) bool {
+		if e.U == e.V {
+			panic("sketch: self loop")
+		}
+		key := graph.KeyOf(e.U, e.V)
+		lo, hi := e.U, e.V
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		buckets[shardOf[lo]] = append(buckets[shardOf[lo]], bankUpd{v: lo, delta: 1, key: key})
+		buckets[shardOf[hi]] = append(buckets[shardOf[hi]], bankUpd{v: hi, delta: -1, key: key})
+		if staged++; staged == bankSourceChunk {
+			flush()
+		}
+		return true
+	})
+	flush()
+}
+
 // BuildBank allocates a bank and inserts the edges, both sharded by
 // vertex range across workers — the one-round distributed construction of
 // Section 4.2 collapsed onto a shared-memory pool.
 func (spec *IncidenceSpec) BuildBank(edges []graph.Edge, workers int) *Bank {
 	b := spec.NewBankParallel(workers)
 	b.AddEdges(edges, workers)
+	return b
+}
+
+// BuildBankSource allocates a bank and inserts the edges served by a
+// Source — the distributed construction driven by any access backend.
+func (spec *IncidenceSpec) BuildBankSource(src stream.Source, workers int) *Bank {
+	b := spec.NewBankParallel(workers)
+	b.AddEdgesSource(src, workers)
 	return b
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 	"repro/internal/xrand"
 )
 
@@ -31,10 +32,22 @@ func TestBankParallelBitIdentical(t *testing.T) {
 	for _, e := range edges {
 		seq.AddEdge(e.U, e.V)
 	}
+	g := graph.New(n)
+	for _, e := range edges {
+		g.MustAddEdge(int(e.U), int(e.V), e.W)
+	}
 	for _, workers := range []int{1, 2, 4, 0} {
 		par := spec.BuildBank(edges, workers)
 		if !reflect.DeepEqual(seq.sketches, par.sketches) {
 			t.Fatalf("workers=%d: parallel bank state differs from sequential", workers)
+		}
+		src := stream.NewEdgeStream(g)
+		fromSrc := spec.BuildBankSource(src, workers)
+		if !reflect.DeepEqual(seq.sketches, fromSrc.sketches) {
+			t.Fatalf("workers=%d: source-built bank differs from sequential", workers)
+		}
+		if src.Passes() != 1 {
+			t.Fatalf("workers=%d: bank build consumed %d passes, want 1", workers, src.Passes())
 		}
 	}
 }

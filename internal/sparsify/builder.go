@@ -1,0 +1,126 @@
+package sparsify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DeferredBuilder is the streaming construction of the deferred
+// cut-sparsifier: edges arrive one at a time with their promise value ς
+// and are pushed straight through the per-class leveled forest
+// constructions, so the builder's memory is the stored sample plus the
+// forest state — never the edge sequence itself. Feeding the builder the
+// same (localIdx, u, v, ς) sequence that NewDeferred receives via its
+// arrays produces a bit-identical Deferred (same per-class seeds, same
+// within-class processing order, same item emission order); the solver
+// relies on this to run its sampling round as one chunked pass over a
+// Source without materializing promise or endpoint arrays.
+//
+// Unlike NewDeferred, the builder also records each stored edge's
+// original stream index and weight, so the resulting Items carry enough
+// to drive refinement and the offline union step with no random access
+// back into the input.
+type DeferredBuilder struct {
+	n, m    int
+	chi     float64
+	cfg     Config // defaults and chi² oversampling already applied
+	classes map[int]*construction
+	info    map[int]builderEdge // localIdx -> side data for stored edges
+}
+
+// builderEdge is the per-stored-edge side data the construction core does
+// not keep.
+type builderEdge struct {
+	u, v  int32
+	w     float64
+	orig  int
+	sigma float64
+}
+
+// NewDeferredBuilder prepares a streaming deferred construction over a
+// local edge sequence of length m (the count must be known up front: it
+// fixes the subsampling depth, exactly as NewDeferred derives it from its
+// array length). chi >= 1 is the promised distortion bound.
+func NewDeferredBuilder(n, m int, chi float64, cfg Config) (*DeferredBuilder, error) {
+	if chi < 1 {
+		return nil, fmt.Errorf("sparsify: chi %v < 1", chi)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("sparsify: negative edge count %d", m)
+	}
+	return &DeferredBuilder{
+		n:       n,
+		m:       m,
+		chi:     chi,
+		cfg:     deferredConfig(n, chi, cfg),
+		classes: make(map[int]*construction),
+		info:    make(map[int]builderEdge),
+	}, nil
+}
+
+// Add streams one edge into the construction. localIdx must be the edge's
+// position in the builder's own sequence (0..m-1, strictly increasing
+// across calls — it drives the subsampling hash); orig is its index in
+// the original stream and w its original weight, both retained only for
+// stored edges. Edges with non-positive sigma are dropped, matching
+// bucketByClass.
+func (b *DeferredBuilder) Add(localIdx int, u, v int32, w float64, orig int, sigma float64) {
+	if !(sigma > 0) {
+		return
+	}
+	cl := int(math.Floor(math.Log2(sigma)))
+	c := b.classes[cl]
+	if c == nil {
+		c = newConstruction(b.n, b.m, withClassSeed(b.cfg, cl))
+		b.classes[cl] = c
+	}
+	if c.process(localIdx, u, v) {
+		b.info[localIdx] = builderEdge{u: u, v: v, w: w, orig: orig, sigma: sigma}
+	}
+}
+
+// Finish emits the Deferred. The per-class item streams concatenate in
+// increasing class order — the order NewDeferred's sorted bucketByClass
+// produces — so the structure is identical to the array-fed construction
+// on the same input.
+func (b *DeferredBuilder) Finish() *Deferred {
+	keys := make([]int, 0, len(b.classes))
+	for cl := range b.classes {
+		keys = append(keys, cl)
+	}
+	sort.Ints(keys)
+	d := &Deferred{n: b.n, chi: b.chi, byEdge: make(map[int]int)}
+	for _, cl := range keys {
+		sub := b.classes[cl]
+		seen := make(map[int]bool)
+		for i := 0; i < sub.numLv; i++ {
+			for _, idx := range sub.stored[i] {
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				info := b.info[idx]
+				ipLv, ok := sub.criticalLevel(info.u, info.v)
+				if !ok {
+					continue
+				}
+				if sub.levelOf(idx) < ipLv {
+					continue
+				}
+				prob := math.Pow(0.5, float64(ipLv))
+				d.byEdge[idx] = len(d.items)
+				d.items = append(d.items, Item{
+					EdgeIdx: idx,
+					Orig:    info.orig,
+					U:       info.u,
+					V:       info.v,
+					W:       info.w,
+					Weight:  info.sigma, // provisional; replaced on Refine
+					Prob:    prob,
+				})
+			}
+		}
+	}
+	return d
+}

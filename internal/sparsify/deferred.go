@@ -39,25 +39,7 @@ func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []f
 	if len(sigma) != m {
 		return nil, fmt.Errorf("sparsify: %d promise values for %d edges", len(sigma), m)
 	}
-	cfg = cfg.withDefaults(n)
-	// Oversample by chi² (Lemma 17: "multiply p′_e by O(χ²)"): raise the
-	// connectivity threshold K by chi², which multiplies every edge's
-	// retention probability by ~chi² *and* keeps the construction
-	// consistent — an edge whose subsampling level reaches its (new,
-	// lower) critical level necessarily enters a forest there, so the
-	// inverse-probability estimator stays unbiased. This is exactly where
-	// the χ² factor of the O(nχ²ξ⁻²·polylog) space bound comes from.
-	boost := int(math.Ceil(chi * chi))
-	if boost < 1 {
-		boost = 1
-	}
-	const maxK = 1 << 13 // memory guard; beyond this the structure would
-	// store everything anyway at the sizes this repository runs
-	if cfg.K > maxK/boost {
-		cfg.K = maxK
-	} else {
-		cfg.K *= boost
-	}
+	cfg = deferredConfig(n, chi, cfg)
 
 	// Per weight class of sigma, run the leveled construction. Endpoint
 	// materialization shards by edge range; the per-class constructions
@@ -98,6 +80,7 @@ func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []f
 				prob := math.Pow(0.5, float64(ipLv))
 				items = append(items, Item{
 					EdgeIdx: idx,
+					Orig:    idx,
 					U:       ep.u,
 					V:       ep.v,
 					Weight:  sigma[idx], // provisional; replaced on Refine
@@ -117,8 +100,39 @@ func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []f
 	return d, nil
 }
 
+// deferredConfig resolves a deferred construction's configuration: fill
+// in defaults, then oversample by chi² (Lemma 17: "multiply p′_e by
+// O(χ²)") by raising the connectivity threshold K by chi², which
+// multiplies every edge's retention probability by ~chi² *and* keeps the
+// construction consistent — an edge whose subsampling level reaches its
+// (new, lower) critical level necessarily enters a forest there, so the
+// inverse-probability estimator stays unbiased. This is exactly where
+// the χ² factor of the O(nχ²ξ⁻²·polylog) space bound comes from.
+func deferredConfig(n int, chi float64, cfg Config) Config {
+	cfg = cfg.withDefaults(n)
+	boost := int(math.Ceil(chi * chi))
+	if boost < 1 {
+		boost = 1
+	}
+	const maxK = 1 << 13 // memory guard; beyond this the structure would
+	// store everything anyway at the sizes this repository runs
+	if cfg.K > maxK/boost {
+		cfg.K = maxK
+	} else {
+		cfg.K *= boost
+	}
+	return cfg
+}
+
 // Size returns the number of stored edges (the structure's space).
 func (d *Deferred) Size() int { return len(d.items) }
+
+// Items returns the stored items (read-only; the slice is the
+// structure's backing store). Each Item carries the edge's endpoints,
+// original index and weight, and its sampling-time promise value in
+// Weight — everything the union and reveal steps need without touching
+// the input stream again.
+func (d *Deferred) Items() []Item { return d.items }
 
 // StoredEdges returns the indices of the stored edges — the only edges
 // whose exact weights the refiner is allowed to request (Definition 4).
@@ -144,10 +158,19 @@ func (d *Deferred) Refine(reveal func(edgeIdx int) float64) *Sparsifier {
 // read-only evaluation of the frozen dual state. Output order matches
 // Refine exactly for any worker count.
 func (d *Deferred) RefineParallel(workers int, reveal func(edgeIdx int) float64) *Sparsifier {
+	return d.RefineWith(workers, func(it Item) float64 { return reveal(it.EdgeIdx) })
+}
+
+// RefineWith is RefineParallel with the reveal callback handed the whole
+// stored Item rather than just its local index: the reveal can use the
+// endpoints (and the provisional promise value in Weight) directly, so
+// refinement needs no random access back into the input stream — the
+// out-of-core reveal path of the solver.
+func (d *Deferred) RefineWith(workers int, reveal func(it Item) float64) *Sparsifier {
 	revealed := make([]float64, len(d.items))
 	parallel.ForEachShard(workers, len(d.items), func(_ int, sh parallel.Range) {
 		for i := sh.Lo; i < sh.Hi; i++ {
-			revealed[i] = reveal(d.items[i].EdgeIdx)
+			revealed[i] = reveal(d.items[i])
 		}
 	})
 	items := make([]Item, 0, len(d.items))

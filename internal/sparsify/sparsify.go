@@ -66,10 +66,15 @@ type Sparsifier struct {
 	Items []Item
 }
 
-// Item is one stored edge with its inverse-probability weight.
+// Item is one stored edge with its inverse-probability weight. An Item
+// carries everything downstream consumers need about the edge — the
+// refinement reveal and the union/offline steps of the solver work from
+// stored Items alone, with no random access back into the input stream.
 type Item struct {
-	EdgeIdx int     // index into the source edge list
+	EdgeIdx int     // index into the construction's local edge sequence
+	Orig    int     // index into the original source stream (== EdgeIdx unless built via DeferredBuilder)
 	U, V    int32   // endpoints
+	W       float64 // original edge weight (0 when the builder was not told it)
 	Weight  float64 // reweighted value (source weight / retention prob)
 	Prob    float64 // retention probability used
 }
@@ -131,8 +136,11 @@ func newConstruction(n, m int, cfg Config) *construction {
 
 // process streams one edge through every level it survives to, inserting
 // it into the first forest without a cycle (Algorithm 6 steps 5-8).
-func (c *construction) process(edgeIdx int, u, v int32) {
+// Reports whether the edge was stored at any level, so streaming callers
+// can retain side data for stored edges only.
+func (c *construction) process(edgeIdx int, u, v int32) bool {
 	lv := c.levelOf(edgeIdx)
+	storedAny := false
 	for i := 0; i <= lv && i < c.numLv; i++ {
 		forests := c.ufs[i]
 		placed := false
@@ -144,13 +152,19 @@ func (c *construction) process(edgeIdx int, u, v int32) {
 				break
 			}
 		}
-		if !placed && len(forests) < c.cfg.K {
+		if placed {
+			storedAny = true
+			continue
+		}
+		if len(forests) < c.cfg.K {
 			nf := unionfind.New(c.n)
 			nf.Union(int(u), int(v))
 			c.ufs[i] = append(forests, nf)
 			c.stored[i] = append(c.stored[i], edgeIdx)
+			storedAny = true
 		}
 	}
+	return storedAny
 }
 
 // criticalLevel returns i′(e): the smallest level at which the endpoints
@@ -197,8 +211,10 @@ func (c *construction) finish(edges []graph.Edge, weightOf func(edgeIdx int) flo
 			prob := math.Pow(0.5, float64(ip))
 			items = append(items, Item{
 				EdgeIdx: idx,
+				Orig:    idx,
 				U:       e.U,
 				V:       e.V,
+				W:       weightOf(idx),
 				Weight:  weightOf(idx) / prob,
 				Prob:    prob,
 			})

@@ -1,0 +1,268 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Compact binary edge format ("RBG1") for out-of-core instances. The
+// layout is a fixed header, an optional capacity table, then fixed-size
+// 16-byte edge records, little-endian throughout:
+//
+//	offset  size  field
+//	0       4     magic "RBG1"
+//	4       1     version (1)
+//	5       1     flags (bit 0: capacity table present)
+//	6       2     reserved (0)
+//	8       8     n (uint64)
+//	16      8     m (uint64)
+//	24      4n    capacities (uint32 each), only when flag bit 0 is set
+//	…       16m   edge records: u uint32, v uint32, w float64 (IEEE bits)
+//
+// Fixed-size records are what make the format a good Source backend: a
+// pass is a buffered sequential read, a parallel pass maps shard [lo, hi)
+// to byte range [off+16·lo, off+16·hi), and a point lookup is one pread —
+// the file never needs to be resident.
+
+const (
+	binMagic      = "RBG1"
+	binVersion    = 1
+	binFlagHasB   = 1
+	binRecordSize = 16
+	// binReadBuffer sizes the per-sweep read buffer: big enough to make
+	// passes sequential-I/O bound, small enough that a sweep holds O(1)
+	// memory relative to the instance.
+	binReadBuffer = 1 << 18
+)
+
+// WriteBinary encodes src in the RBG1 format (one metered pass over src).
+func WriteBinary(w io.Writer, src Source) error {
+	bw := bufio.NewWriterSize(w, binReadBuffer)
+	n, m := src.N(), src.Len()
+	hasB := false
+	for v := 0; v < n; v++ {
+		if src.B(v) != 1 {
+			hasB = true
+			break
+		}
+	}
+	flags := byte(0)
+	if hasB {
+		flags |= binFlagHasB
+	}
+	header := make([]byte, 24)
+	copy(header, binMagic)
+	header[4] = binVersion
+	header[5] = flags
+	binary.LittleEndian.PutUint64(header[8:], uint64(n))
+	binary.LittleEndian.PutUint64(header[16:], uint64(m))
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	if hasB {
+		var buf [4]byte
+		for v := 0; v < n; v++ {
+			binary.LittleEndian.PutUint32(buf[:], uint32(src.B(v)))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	var werr error
+	var rec [binRecordSize]byte
+	src.ForEach(func(_ int, e graph.Edge) bool {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(e.W))
+		if _, err := bw.Write(rec[:]); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryFile encodes src into a new file at path.
+func WriteBinaryFile(path string, src Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, src); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FileSource is the out-of-core Source backend: edges live in an RBG1
+// file and every sweep is a buffered chunked read. Only the header and
+// the O(n) capacity table are resident. Sweeps and lookups are safe for
+// concurrent use (they share the file handle through preads).
+type FileSource struct {
+	meter
+	f       *os.File
+	n, m    int
+	b       []int // nil = all ones
+	totalB  int
+	dataOff int64
+}
+
+var _ Source = (*FileSource)(nil)
+var _ RandomAccess = (*FileSource)(nil)
+
+// OpenBinary opens an RBG1 file as a Source.
+func OpenBinary(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := newFileSource(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return src, nil
+}
+
+func newFileSource(f *os.File) (*FileSource, error) {
+	header := make([]byte, 24)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("stream: short binary header: %w", err)
+	}
+	if string(header[:4]) != binMagic {
+		return nil, fmt.Errorf("stream: bad magic %q (want %q)", header[:4], binMagic)
+	}
+	if header[4] != binVersion {
+		return nil, fmt.Errorf("stream: unsupported binary version %d", header[4])
+	}
+	n := int(binary.LittleEndian.Uint64(header[8:]))
+	m := int(binary.LittleEndian.Uint64(header[16:]))
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("stream: implausible header n=%d m=%d", n, m)
+	}
+	src := &FileSource{f: f, n: n, m: m, totalB: n, dataOff: 24}
+	if header[5]&binFlagHasB != 0 {
+		raw := make([]byte, 4*n)
+		if _, err := io.ReadFull(f, raw); err != nil {
+			return nil, fmt.Errorf("stream: short capacity table: %w", err)
+		}
+		src.b = make([]int, n)
+		src.totalB = 0
+		for v := 0; v < n; v++ {
+			bv := int(binary.LittleEndian.Uint32(raw[4*v:]))
+			if bv < 1 {
+				return nil, fmt.Errorf("stream: capacity %d of vertex %d out of range", bv, v)
+			}
+			src.b[v] = bv
+			src.totalB += bv
+		}
+		src.dataOff += int64(4 * n)
+	}
+	if fi, err := f.Stat(); err == nil {
+		if want := src.dataOff + int64(m)*binRecordSize; fi.Size() < want {
+			return nil, fmt.Errorf("stream: truncated edge section: %d bytes, want %d", fi.Size(), want)
+		}
+	}
+	return src, nil
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// N returns the number of vertices.
+func (s *FileSource) N() int { return s.n }
+
+// B returns the capacity of vertex v.
+func (s *FileSource) B(v int) int {
+	if s.b == nil {
+		return 1
+	}
+	return s.b[v]
+}
+
+// TotalB returns Σ b_i.
+func (s *FileSource) TotalB() int { return s.totalB }
+
+// Len returns the stream length m.
+func (s *FileSource) Len() int { return s.m }
+
+// Edge returns the i-th edge with a single positioned read (RandomAccess).
+func (s *FileSource) Edge(i int) graph.Edge {
+	if i < 0 || i >= s.m {
+		panic(fmt.Sprintf("stream: edge index %d out of range [0,%d)", i, s.m))
+	}
+	var rec [binRecordSize]byte
+	if _, err := s.f.ReadAt(rec[:], s.dataOff+int64(i)*binRecordSize); err != nil {
+		panic(fmt.Sprintf("stream: read edge %d: %v", i, err))
+	}
+	return decodeRecord(rec[:])
+}
+
+func decodeRecord(rec []byte) graph.Edge {
+	return graph.Edge{
+		U: int32(binary.LittleEndian.Uint32(rec[0:])),
+		V: int32(binary.LittleEndian.Uint32(rec[4:])),
+		W: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+	}
+}
+
+// sweepRange enumerates edges [lo, hi) through a buffered reader.
+func (s *FileSource) sweepRange(lo, hi int, f func(idx int, e graph.Edge) bool) {
+	if lo >= hi {
+		return
+	}
+	sec := io.NewSectionReader(s.f, s.dataOff+int64(lo)*binRecordSize, int64(hi-lo)*binRecordSize)
+	br := bufio.NewReaderSize(sec, binReadBuffer)
+	var rec [binRecordSize]byte
+	for i := lo; i < hi; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			panic(fmt.Sprintf("stream: read edge %d: %v", i, err))
+		}
+		if !f(i, decodeRecord(rec[:])) {
+			return
+		}
+	}
+}
+
+// ForEach performs one buffered pass over the file in record order.
+// Returning false aborts the pass (it still counts as a pass).
+func (s *FileSource) ForEach(f func(idx int, e graph.Edge) bool) {
+	s.pass()
+	s.Sweep(f)
+}
+
+// Sweep is ForEach without the pass charge (Source contract).
+func (s *FileSource) Sweep(f func(idx int, e graph.Edge) bool) {
+	s.sweepRange(0, s.m, f)
+}
+
+// ForEachParallel performs one pass sharded by record range: each worker
+// reads its own byte range through its own buffered section reader, so
+// the shards together read the file exactly once. Counts one pass for any
+// worker count (Source contract).
+func (s *FileSource) ForEachParallel(workers int, f func(idx int, e graph.Edge)) {
+	s.pass()
+	s.SweepParallel(workers, f)
+}
+
+// SweepParallel is ForEachParallel without the pass charge.
+func (s *FileSource) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
+	parallel.ForEachShard(workers, s.m, func(_ int, r parallel.Range) {
+		s.sweepRange(r.Lo, r.Hi, func(idx int, e graph.Edge) bool {
+			f(idx, e)
+			return true
+		})
+	})
+}

@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Filtered is a predicate-restricted view of a parent Source: the same
+// vertex set, only the edges satisfying keep, with the parent's edge
+// indices preserved (so the idx sequence is a strictly increasing
+// subsequence of [0, parent.Len())). It is how per-level streams are
+// derived without materializing per-level subgraphs — the device behind
+// Lemma 20's per-level initial solutions running out-of-core.
+//
+// A Filtered view meters its own passes and does not advance the
+// parent's counter: in the paper's accounting each level's stream runs
+// on its own machine, and the driver charges the parent once per
+// conceptual round, not once per level.
+type Filtered struct {
+	meter
+	parent Source
+	keep   func(idx int, e graph.Edge) bool
+
+	lenOnce sync.Once
+	length  int64
+}
+
+var _ Source = (*Filtered)(nil)
+
+// NewFilter returns the view of parent restricted to edges with
+// keep(idx, e) == true. keep must be pure and safe for concurrent calls.
+func NewFilter(parent Source, keep func(idx int, e graph.Edge) bool) *Filtered {
+	return &Filtered{parent: parent, keep: keep}
+}
+
+// N returns the number of vertices.
+func (s *Filtered) N() int { return s.parent.N() }
+
+// B returns the capacity of vertex v.
+func (s *Filtered) B(v int) int { return s.parent.B(v) }
+
+// TotalB returns Σ b_i.
+func (s *Filtered) TotalB() int { return s.parent.TotalB() }
+
+// Len returns the number of edges passing the filter. The first call
+// counts them with one raw sweep of the parent and caches the result.
+func (s *Filtered) Len() int {
+	s.lenOnce.Do(func() {
+		var cnt int64
+		s.parent.Sweep(func(idx int, e graph.Edge) bool {
+			if s.keep(idx, e) {
+				cnt++
+			}
+			return true
+		})
+		atomic.StoreInt64(&s.length, cnt)
+	})
+	return int(atomic.LoadInt64(&s.length))
+}
+
+// ForEach performs one pass over the matching edges in parent order.
+// Returning false aborts the pass (it still counts as a pass).
+func (s *Filtered) ForEach(f func(idx int, e graph.Edge) bool) {
+	s.pass()
+	s.Sweep(f)
+}
+
+// Sweep is ForEach without the pass charge (Source contract).
+func (s *Filtered) Sweep(f func(idx int, e graph.Edge) bool) {
+	s.parent.Sweep(func(idx int, e graph.Edge) bool {
+		if !s.keep(idx, e) {
+			return true
+		}
+		return f(idx, e)
+	})
+}
+
+// ForEachParallel performs one pass over the matching edges, sharded by
+// the parent. Counts one pass for any worker count (Source contract).
+func (s *Filtered) ForEachParallel(workers int, f func(idx int, e graph.Edge)) {
+	s.pass()
+	s.SweepParallel(workers, f)
+}
+
+// SweepParallel is ForEachParallel without the pass charge.
+func (s *Filtered) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
+	s.parent.SweepParallel(workers, func(idx int, e graph.Edge) {
+		if s.keep(idx, e) {
+			f(idx, e)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+// GenSource is the generator-backed Source: instead of storing edges
+// anywhere, every pass replays a seeded synthetic generator. The edge
+// sequence is a pure function of the spec — edges are drawn in fixed-size
+// blocks, each block from its own pre-split RNG — so passes are
+// bit-identical to each other, parallel sweeps shard on block boundaries
+// without coordination, and point lookups replay one block. A GenSource
+// holds O(1) state per sweep: it is the backend for scaling runs at sizes
+// that cannot be materialized (experiment E13/E15 regime m >> RAM).
+//
+// The generator is a uniform multigraph sampler: each edge picks two
+// distinct uniform endpoints and a weight from the configured law.
+// Duplicate pairs are possible (the paper's algorithms accept parallel
+// edges); deduplication would require Ω(m) memory and is exactly what
+// this backend exists to avoid.
+type GenSource struct {
+	meter
+	spec   GenSpec
+	capSd  uint64
+	totalB int
+}
+
+// GenSpec parameterizes a GenSource.
+type GenSpec struct {
+	// N is the vertex count (>= 2 when M > 0).
+	N int
+	// M is the edge count.
+	M int
+	// Weights selects the edge-weight law.
+	Weights graph.WeightConfig
+	// Seed drives all randomness.
+	Seed uint64
+	// BMax > 1 assigns deterministic pseudo-random capacities in
+	// [1, BMax]; otherwise all capacities are 1.
+	BMax int
+}
+
+// genBlockEdges is the replay granule: every block of this many edges is
+// drawn from its own seed-derived RNG. It is a constant so the edge
+// sequence never depends on worker count or sweep shape.
+const genBlockEdges = 1 << 12
+
+var _ Source = (*GenSource)(nil)
+var _ RandomAccess = (*GenSource)(nil)
+
+// NewGen returns a generator-backed source for the spec.
+func NewGen(spec GenSpec) (*GenSource, error) {
+	if spec.M < 0 || spec.N < 0 {
+		return nil, fmt.Errorf("stream: negative generator size n=%d m=%d", spec.N, spec.M)
+	}
+	if spec.M > 0 && spec.N < 2 {
+		return nil, fmt.Errorf("stream: need n >= 2 for m=%d generated edges", spec.M)
+	}
+	s := &GenSource{spec: spec, capSd: xrand.Mix64(spec.Seed ^ 0xcab0cab0cab0cab0)}
+	s.totalB = 0
+	for v := 0; v < spec.N; v++ {
+		s.totalB += s.B(v)
+	}
+	return s, nil
+}
+
+// N returns the number of vertices.
+func (s *GenSource) N() int { return s.spec.N }
+
+// B returns the capacity of vertex v (a pure function of the seed).
+func (s *GenSource) B(v int) int {
+	if s.spec.BMax <= 1 {
+		return 1
+	}
+	return 1 + int(xrand.Mix64(s.capSd+uint64(v))%uint64(s.spec.BMax))
+}
+
+// TotalB returns Σ b_i.
+func (s *GenSource) TotalB() int { return s.totalB }
+
+// Len returns the stream length m.
+func (s *GenSource) Len() int { return s.spec.M }
+
+// blockRNG returns the generator for block b.
+func (s *GenSource) blockRNG(b int) *xrand.RNG {
+	return xrand.New(xrand.Mix64(s.spec.Seed ^ (uint64(b)+1)*0x9e3779b97f4a7c15))
+}
+
+// drawEdge draws the next edge of a block's stream.
+func (s *GenSource) drawEdge(r *xrand.RNG) graph.Edge {
+	n := s.spec.N
+	for {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			continue
+		}
+		return graph.Edge{U: int32(u), V: int32(v), W: s.spec.Weights.Draw(r)}
+	}
+}
+
+// sweepRange replays edges [lo, hi), regenerating the first touched
+// block's prefix (at most genBlockEdges wasted draws per call).
+func (s *GenSource) sweepRange(lo, hi int, f func(idx int, e graph.Edge) bool) {
+	for b := lo / genBlockEdges; b*genBlockEdges < hi; b++ {
+		r := s.blockRNG(b)
+		blockLo := b * genBlockEdges
+		blockHi := blockLo + genBlockEdges
+		if blockHi > s.spec.M {
+			blockHi = s.spec.M
+		}
+		for i := blockLo; i < blockHi; i++ {
+			e := s.drawEdge(r)
+			if i < lo {
+				continue
+			}
+			if i >= hi {
+				return
+			}
+			if !f(i, e) {
+				return
+			}
+		}
+	}
+}
+
+// Edge replays the i-th edge (RandomAccess; costs one block prefix).
+func (s *GenSource) Edge(i int) graph.Edge {
+	if i < 0 || i >= s.spec.M {
+		panic(fmt.Sprintf("stream: edge index %d out of range [0,%d)", i, s.spec.M))
+	}
+	var out graph.Edge
+	s.sweepRange(i, i+1, func(_ int, e graph.Edge) bool {
+		out = e
+		return true
+	})
+	return out
+}
+
+// ForEach performs one replayed pass in index order. Returning false
+// aborts the pass (it still counts as a pass).
+func (s *GenSource) ForEach(f func(idx int, e graph.Edge) bool) {
+	s.pass()
+	s.Sweep(f)
+}
+
+// Sweep is ForEach without the pass charge (Source contract).
+func (s *GenSource) Sweep(f func(idx int, e graph.Edge) bool) {
+	s.sweepRange(0, s.spec.M, f)
+}
+
+// ForEachParallel performs one replayed pass sharded by edge range; each
+// worker regenerates its own blocks independently. Counts one pass for
+// any worker count (Source contract).
+func (s *GenSource) ForEachParallel(workers int, f func(idx int, e graph.Edge)) {
+	s.pass()
+	s.SweepParallel(workers, f)
+}
+
+// SweepParallel is ForEachParallel without the pass charge.
+func (s *GenSource) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
+	parallel.ForEachShard(workers, s.spec.M, func(_ int, r parallel.Range) {
+		s.sweepRange(r.Lo, r.Hi, func(idx int, e graph.Edge) bool {
+			f(idx, e)
+			return true
+		})
+	})
+}

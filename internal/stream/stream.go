@@ -3,9 +3,14 @@
 // and a space accountant that tracks the peak number of words of random
 // accessible storage the algorithm holds at any time.
 //
+// The access side is pluggable (see Source): the same metered-sweep
+// contract is served by an in-memory edge list, an on-disk binary file, a
+// replayed synthetic generator, or a sharded composition, so algorithms
+// written against Source run out-of-core unchanged.
+//
 // Nothing in this package enforces the constraints by construction (the
 // process obviously has RAM); instead the resources are *measured* so that
-// experiments E2/E9 can report rounds/passes and peak space and compare
+// experiments E2/E9/E15 can report rounds/passes and peak space and compare
 // them to the paper's O(p/ε) and O(n^(1+1/p)) bounds.
 package stream
 
@@ -17,12 +22,15 @@ import (
 	"repro/internal/parallel"
 )
 
-// EdgeStream is a replayable, read-only sequence of edges. Each call to
-// ForEach counts as one pass over the input.
+// EdgeStream is the in-memory Source: a materialized graph presented as a
+// replayable, read-only sequence of edges.
 type EdgeStream struct {
-	g      *graph.Graph
-	passes int64
+	meter
+	g *graph.Graph
 }
+
+var _ Source = (*EdgeStream)(nil)
+var _ RandomAccess = (*EdgeStream)(nil)
 
 // NewEdgeStream wraps a graph as a stream. The graph must not be mutated
 // afterwards.
@@ -30,24 +38,31 @@ func NewEdgeStream(g *graph.Graph) *EdgeStream {
 	return &EdgeStream{g: g}
 }
 
-// N returns the number of vertices (assumed known a priori, as is standard
-// in semi-streaming).
+// N returns the number of vertices.
 func (s *EdgeStream) N() int { return s.g.N() }
 
-// B returns the capacity of vertex v (also assumed known).
+// B returns the capacity of vertex v.
 func (s *EdgeStream) B(v int) int { return s.g.B(v) }
 
 // TotalB returns Σ b_i.
 func (s *EdgeStream) TotalB() int { return s.g.TotalB() }
 
-// Passes returns how many passes have been consumed.
-func (s *EdgeStream) Passes() int { return int(atomic.LoadInt64(&s.passes)) }
+// Len returns the stream length m.
+func (s *EdgeStream) Len() int { return s.g.M() }
+
+// Edge returns the i-th edge (RandomAccess).
+func (s *EdgeStream) Edge(i int) graph.Edge { return s.g.Edge(i) }
 
 // ForEach performs one pass over the edges in arrival order. The callback
 // receives the edge index and the edge. Returning false aborts the pass
 // (it still counts as a pass).
 func (s *EdgeStream) ForEach(f func(idx int, e graph.Edge) bool) {
-	atomic.AddInt64(&s.passes, 1)
+	s.pass()
+	s.Sweep(f)
+}
+
+// Sweep is ForEach without the pass charge (Source contract).
+func (s *EdgeStream) Sweep(f func(idx int, e graph.Edge) bool) {
 	for i, e := range s.g.Edges() {
 		if !f(i, e) {
 			return
@@ -64,7 +79,12 @@ func (s *EdgeStream) ForEach(f func(idx int, e graph.Edge) bool) {
 // together read the input once, exactly as the distributed mappers of
 // Section 4.2 share one round.
 func (s *EdgeStream) ForEachParallel(workers int, f func(idx int, e graph.Edge)) {
-	atomic.AddInt64(&s.passes, 1)
+	s.pass()
+	s.SweepParallel(workers, f)
+}
+
+// SweepParallel is ForEachParallel without the pass charge.
+func (s *EdgeStream) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
 	edges := s.g.Edges()
 	parallel.ForEachShard(workers, len(edges), func(_ int, r parallel.Range) {
 		for i := r.Lo; i < r.Hi; i++ {
@@ -72,10 +92,6 @@ func (s *EdgeStream) ForEachParallel(workers int, f func(idx int, e graph.Edge))
 		}
 	})
 }
-
-// Len returns the stream length m. Knowing m (or an upper bound) is
-// standard for choosing subsampling depths.
-func (s *EdgeStream) Len() int { return s.g.M() }
 
 // SpaceAccountant tracks words of central storage in use, its peak, and
 // the number of adaptive access rounds. All methods are safe for
