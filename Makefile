@@ -1,8 +1,9 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 
 GO ?= go
+REV ?= dev
 
-.PHONY: check fmt vet build test race bench experiments
+.PHONY: check fmt vet build test race bench experiments bench-json
 
 check: fmt vet build race
 
@@ -29,3 +30,8 @@ bench:
 # Full-scale experiment tables (EXPERIMENTS.md is a captured run).
 experiments:
 	$(GO) run ./cmd/matchbench
+
+# Machine-readable quick-scale capture: BENCH_$(REV).json (the perf
+# trajectory; see cmd/matchbench -json).
+bench-json:
+	$(GO) run ./cmd/matchbench -quick -json -rev $(REV)

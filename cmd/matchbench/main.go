@@ -9,42 +9,112 @@
 //	matchbench -exp e1,e6,e7   # selected experiments
 //	matchbench -seed 42
 //	matchbench -workers 4      # shard the pipeline (0 = GOMAXPROCS)
+//	matchbench -json -rev abc  # also write BENCH_abc.json
+//
+// With -json the run is additionally captured as a machine-readable
+// BENCH_<rev>.json (override the path with -jsonpath): every table's
+// rows plus per-experiment wall time, so successive revisions accumulate
+// a perf trajectory that tooling can diff.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/parallel"
 )
+
+// benchDoc is the BENCH_<rev>.json schema.
+type benchDoc struct {
+	Rev             string      `json:"rev"`
+	GoVersion       string      `json:"goVersion"`
+	GOMAXPROCS      int         `json:"gomaxprocs"`
+	Quick           bool        `json:"quick"`
+	Seed            uint64      `json:"seed"`
+	Workers         int         `json:"workers"`
+	WorkersResolved int         `json:"workersResolved"`
+	TotalWallMS     float64     `json:"totalWallMs"`
+	Experiments     []benchItem `json:"experiments"`
+}
+
+type benchItem struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	WallMS  float64    `json:"wallMs"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink experiment sizes")
 	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	workers := flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "also write a machine-readable BENCH_<rev>.json")
+	rev := flag.String("rev", "dev", "revision label for the JSON capture")
+	jsonPath := flag.String("jsonpath", "", "override the JSON capture path (default BENCH_<rev>.json)")
 	flag.Parse()
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
-	if *exps == "" {
-		for _, tab := range bench.All(cfg) {
-			tab.Print(os.Stdout)
+	ids := bench.IDs()
+	if *exps != "" {
+		ids = ids[:0]
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := bench.ByID(id); !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e15, ea, es)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, strings.ToLower(id))
 		}
-		return
 	}
-	for _, id := range strings.Split(*exps, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
-		}
-		fn, ok := bench.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e15, ea, es)\n", id)
-			os.Exit(2)
-		}
+
+	doc := benchDoc{
+		Rev:             *rev,
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Quick:           *quick,
+		Seed:            *seed,
+		Workers:         *workers,
+		WorkersResolved: parallel.Workers(*workers),
+	}
+	for _, id := range ids {
+		fn, _ := bench.ByID(id)
+		start := time.Now()
 		tab := fn(cfg)
+		wallMS := float64(time.Since(start).Microseconds()) / 1000
 		tab.Print(os.Stdout)
+		doc.TotalWallMS += wallMS
+		doc.Experiments = append(doc.Experiments, benchItem{
+			ID: tab.ID, Title: tab.Title, WallMS: wallMS,
+			Columns: tab.Columns, Rows: tab.Rows, Notes: tab.Notes,
+		})
+	}
+
+	if *jsonOut {
+		path := *jsonPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", *rev)
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, %.0f ms total)\n", path, len(doc.Experiments), doc.TotalWallMS)
 	}
 }

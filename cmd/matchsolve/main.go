@@ -10,28 +10,60 @@
 //	matchsolve -input big.rbg -format bin             # out-of-core binary
 //	matchsolve -n 100 -m 800 -verify                  # compare to exact blossom
 //	matchsolve -input edges.txt -convert big.rbg      # text -> binary, no solve
+//	matchsolve -n 200 -m 2000 -json                   # machine-readable result
+//	matchsolve -n 200 -m 2000 -max-rounds 2           # enforce a round budget
 //
 // The binary format (-format bin) is solved through the file-backed
-// stream.Source: edges are read in buffered passes and never fully
+// source: edges are read in buffered passes and never fully
 // materialized, so instances larger than memory work.
+//
+// The resource budgets (-max-passes, -max-rounds, -max-words; 0 =
+// unlimited) are enforced inside the engine: when one trips, the
+// best-so-far matching is still printed, the tripped axis goes to
+// stderr, and the exit code is 3.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/parallel"
 	"repro/internal/stream"
+	"repro/match"
 )
+
+// Exit codes: 0 success, 1 operational error, 2 usage error, 3 budget
+// exceeded (best-so-far result was still printed).
+const exitBudget = 3
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// solveOutput is the -json document: the instance summary, the full
+// public result, and — when a budget tripped — the axis details.
+type solveOutput struct {
+	Instance struct {
+		N      int `json:"n"`
+		M      int `json:"m"`
+		TotalB int `json:"totalB"`
+	} `json:"instance"`
+	Result         *match.Result      `json:"result"`
+	BudgetExceeded *match.BudgetError `json:"budgetExceeded,omitempty"`
+	Verification   *verification      `json:"verification,omitempty"`
+}
+
+type verification struct {
+	Optimum float64 `json:"optimum"`
+	Ratio   float64 `json:"ratio"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -50,6 +82,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bmax := fs.Int("bmax", 1, "random vertex capacities in [1,bmax]")
 	verify := fs.Bool("verify", false, "also run the exact blossom solver and report the ratio")
 	workers := fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	jsonOut := fs.Bool("json", false, "print the result as JSON instead of text")
+	maxPasses := fs.Int("max-passes", 0, "budget: metered passes over the input (0 = unlimited)")
+	maxRounds := fs.Int("max-rounds", 0, "budget: adaptive sampling rounds (0 = unlimited)")
+	maxWords := fs.Int("max-words", 0, "budget: peak central storage in words (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,10 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// Assemble the instance behind a stream.Source. The binary path stays
+	// Assemble the instance behind a Source. The binary path stays
 	// out-of-core; everything else materializes (text must be parsed, and
 	// a generated graph here is small by construction).
-	var src stream.Source
+	var src match.Source
 	switch {
 	case *input != "" && strings.ToLower(*format) == "bin":
 		if *bmax > 1 {
@@ -112,29 +148,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res, err := core.Solve(src, core.Options{Eps: *eps, P: *p, Seed: *seed + 2, Workers: *workers})
+	solver, err := match.New(
+		match.WithEps(*eps),
+		match.WithSpaceExponent(*p),
+		match.WithSeed(*seed+2),
+		match.WithWorkers(*workers),
+		match.WithBudget(match.Budget{Passes: *maxPasses, Rounds: *maxRounds, SpaceWords: *maxWords}),
+	)
 	if err != nil {
+		return fail("configure: %v", err)
+	}
+	res, err := solver.Solve(context.Background(), src)
+	var budgetErr *match.BudgetError
+	if err != nil && !errors.As(err, &budgetErr) {
 		return fail("solve: %v", err)
 	}
-	if err := res.Matching.ValidateStream(src); err != nil {
+	if err := res.Validate(src); err != nil {
 		return fail("internal error: invalid matching: %v", err)
 	}
-	fmt.Fprintf(stdout, "instance        n=%d m=%d B=%d\n", src.N(), src.Len(), src.TotalB())
-	fmt.Fprintf(stdout, "matching        edges=%d weight=%.4f\n", res.Matching.Size(), res.Weight)
-	fmt.Fprintf(stdout, "dual            objective=%.4f lambda=%.4f certified-bound=%.4f\n",
-		res.DualObjective, res.Lambda, res.CertifiedUpperBound(*eps))
-	st := res.Stats
-	fmt.Fprintf(stdout, "rounds          init=%d sampling=%d (early-stop=%v)\n", st.InitRounds, st.SamplingRounds, st.EarlyStopped)
-	fmt.Fprintf(stdout, "adaptivity      oracle-uses=%d micro-calls=%d pack-iters=%d\n", st.OracleUses, st.MicroCalls, st.PackIters)
-	fmt.Fprintf(stdout, "space           peak-sampled-edges=%d peak-words=%d dual-state-words=%d\n", st.PeakSampleEdges, st.PeakWords, st.DualStateWords)
-	fmt.Fprintf(stdout, "stream          passes=%d\n", st.Passes)
-	fmt.Fprintf(stdout, "pipeline        workers=%d (resolved %d)\n", *workers, parallel.Workers(*workers))
+
+	var verif *verification
 	if *verify {
 		g := stream.Materialize(src)
 		_, opt := matching.OfflineB(g, matching.OfflineConfig{ExactLimit: 1200})
 		if opt > 0 {
-			fmt.Fprintf(stdout, "verification    optimum=%.4f ratio=%.4f (target >= %.4f)\n", opt, res.Weight/opt, 1-*eps)
+			verif = &verification{Optimum: opt, Ratio: res.Weight / opt}
 		}
+	}
+
+	if *jsonOut {
+		out := solveOutput{Result: res, BudgetExceeded: budgetErr, Verification: verif}
+		out.Instance.N = src.N()
+		out.Instance.M = src.Len()
+		out.Instance.TotalB = src.TotalB()
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail("encode: %v", err)
+		}
+	} else {
+		fmt.Fprintf(stdout, "instance        n=%d m=%d B=%d\n", src.N(), src.Len(), src.TotalB())
+		fmt.Fprintf(stdout, "matching        edges=%d weight=%.4f\n", res.Matching.Size(), res.Weight)
+		fmt.Fprintf(stdout, "dual            objective=%.4f lambda=%.4f certified-bound=%.4f\n",
+			res.DualObjective, res.Lambda, res.CertifiedUpperBound())
+		st := res.Stats
+		fmt.Fprintf(stdout, "rounds          init=%d sampling=%d (early-stop=%v)\n", st.InitRounds, st.SamplingRounds, st.EarlyStopped)
+		fmt.Fprintf(stdout, "adaptivity      oracle-uses=%d micro-calls=%d pack-iters=%d\n", st.OracleUses, st.MicroCalls, st.PackIters)
+		fmt.Fprintf(stdout, "space           peak-sampled-edges=%d peak-words=%d dual-state-words=%d\n", st.PeakSampleEdges, st.PeakWords, st.DualStateWords)
+		fmt.Fprintf(stdout, "stream          passes=%d\n", st.Passes)
+		fmt.Fprintf(stdout, "pipeline        workers=%d (resolved %d)\n", *workers, parallel.Workers(*workers))
+		if verif != nil {
+			fmt.Fprintf(stdout, "verification    optimum=%.4f ratio=%.4f (target >= %.4f)\n", verif.Optimum, verif.Ratio, 1-*eps)
+		}
+	}
+	if budgetErr != nil {
+		fmt.Fprintf(stderr, "budget exceeded on %s: used %d, limit %d (best-so-far result printed)\n",
+			budgetErr.Axis, budgetErr.Used, budgetErr.Limit)
+		return exitBudget
 	}
 	return 0
 }

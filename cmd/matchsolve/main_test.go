@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -91,6 +92,75 @@ func TestDIMACSInput(t *testing.T) {
 	// on a 4-vertex instance.
 	if !strings.Contains(out, "weight=8.0000") {
 		t.Fatalf("unexpected matching weight:\n%s", out)
+	}
+}
+
+// TestGoldenJSONOutput pins the -json document — instance, result (with
+// baked-in eps), verification — on the same seeded instance as the text
+// golden, so the machine-readable surface is as regression-guarded as
+// the human one.
+func TestGoldenJSONOutput(t *testing.T) {
+	got := runCLI(t, "-n", "40", "-m", "200", "-wmax", "20", "-seed", "3",
+		"-eps", "0.25", "-p", "2", "-workers", "1", "-verify", "-json")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, got)
+	}
+	golden := filepath.Join("testdata", "solve_small_json.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("-json output drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestBudgetTrippedExit pins the budget-exceeded contract of the CLI: a
+// distinct exit code, the axis on stderr, and the best-so-far result
+// still printed on stdout.
+func TestBudgetTrippedExit(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "40", "-m", "200", "-wmax", "20", "-seed", "3",
+		"-eps", "0.25", "-p", "2", "-workers", "1", "-max-rounds", "1"}, &out, &errOut)
+	if code != exitBudget {
+		t.Fatalf("budget-tripped run exited %d, want %d\nstderr: %s", code, exitBudget, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "budget exceeded on rounds") {
+		t.Fatalf("stderr missing the tripped axis: %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), "matching") || !strings.Contains(out.String(), "sampling=1") {
+		t.Fatalf("best-so-far result not printed:\n%s", out.String())
+	}
+
+	// The JSON surface carries the trip in-band.
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-n", "40", "-m", "200", "-wmax", "20", "-seed", "3",
+		"-eps", "0.25", "-p", "2", "-workers", "1", "-max-passes", "4", "-json"}, &out, &errOut)
+	if code != exitBudget {
+		t.Fatalf("JSON budget run exited %d, want %d\nstderr: %s", code, exitBudget, errOut.String())
+	}
+	var doc struct {
+		BudgetExceeded *struct {
+			Axis  string `json:"axis"`
+			Limit int    `json:"limit"`
+			Used  int    `json:"used"`
+		} `json:"budgetExceeded"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("budget-tripped -json output invalid: %v\n%s", err, out.String())
+	}
+	if doc.BudgetExceeded == nil || doc.BudgetExceeded.Axis != "passes" || doc.BudgetExceeded.Limit != 4 {
+		t.Fatalf("budgetExceeded not reported in JSON: %+v\n%s", doc.BudgetExceeded, out.String())
 	}
 }
 

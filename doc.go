@@ -5,12 +5,21 @@
 // maximum b-matching using O(p/ε) rounds of adaptive sketching and
 // O(n^(1+1/p)) central space.
 //
-// The library lives under internal/: the dual-primal solver (core), the
+// The public API is the repro/match package: match.New configures a
+// solver with functional options, Solver.Solve(ctx, src) runs it
+// against any stream backend with context cancellation honored at pass
+// and round boundaries, match.Budget makes the paper's resource axes
+// (passes, rounds, space) enforceable with best-so-far semantics, and
+// an Observer streams the per-round dual trajectory. See the package
+// documentation of repro/match for examples.
+//
+// The engine lives under internal/: the dual-primal solver (core), the
 // substrates it depends on (sketch, sparsify, matching, lp, oddset,
 // cover, pack, levels, stream, graph, parallel — the sharded worker
 // pool), the distributed-model simulators (mapreduce, congest,
 // semistream) and the experiment harness (bench). See DESIGN.md for the
-// system inventory and EXPERIMENTS.md for measured results.
+// system inventory (section 8 documents the facade) and EXPERIMENTS.md
+// for measured results.
 //
 // The root package carries the benchmark entry points (bench_test.go):
 // one testing.B benchmark per experiment table.

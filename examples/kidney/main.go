@@ -9,20 +9,26 @@
 // re-evaluated crossmatches, far larger than one coordinator wants to
 // materialize — exactly the regime of the paper. This example generates
 // a synthetic pool (blood types with realistic frequencies, PRA
-// sensitization, match-quality weights), runs the dual-primal solver
-// under a streaming budget, and compares against exact blossom.
+// sensitization, match-quality weights), runs the public match solver
+// under an enforced round budget — a match run scheduled between
+// crossmatch refreshes gets a bounded number of adaptive rounds, and a
+// best-so-far answer beats no answer — and compares against exact
+// blossom.
 //
 //	go run ./examples/kidney
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/stream"
 	"repro/internal/xrand"
+	"repro/match"
 )
 
 // bloodType frequencies (approximate US distribution).
@@ -96,8 +102,26 @@ func main() {
 	}
 	fmt.Printf("pool: %d pairs, %d feasible two-way swaps\n", g.N(), g.M())
 
-	res, err := core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: 11})
+	// The operational constraint is explicit: at most 6 adaptive rounds
+	// before the exchange must act. If the budget trips, the engine hands
+	// back the best feasible set of swaps it has found so far.
+	solver, err := match.New(
+		match.WithEps(0.25),
+		match.WithSpaceExponent(2),
+		match.WithSeed(11),
+		match.WithBudget(match.Budget{Rounds: 6}),
+	)
 	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), stream.NewEdgeStream(g))
+	switch {
+	case errors.Is(err, match.ErrBudgetExceeded):
+		var be *match.BudgetError
+		errors.As(err, &be)
+		fmt.Printf("round budget tripped (%s: used %d, limit %d) -> acting on the best-so-far matching\n",
+			be.Axis, be.Used, be.Limit)
+	case err != nil:
 		log.Fatal(err)
 	}
 	fmt.Printf("dual-primal: %d swaps selected, total quality %.1f\n", res.Matching.Size(), res.Weight)

@@ -1,17 +1,20 @@
 // Quickstart: solve a (1-ε)-approximate maximum weight matching on a
-// random nonbipartite graph with the dual-primal solver, then check the
-// answer against the exact blossom algorithm.
+// random nonbipartite graph through the public match package, watch the
+// dual trajectory with an observer, and check the answer against the
+// exact blossom algorithm.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/stream"
+	"repro/match"
 )
 
 func main() {
@@ -19,9 +22,20 @@ func main() {
 	// weights uniform in [1, 50].
 	g := graph.GNM(120, 1000, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 50}, 7)
 
-	// Solve with eps = 1/4 and space exponent p = 2 (central space
-	// ~ n^{3/2} edge words, O(p/eps) sampling rounds).
-	res, err := core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: 42})
+	// Configure the solver with eps = 1/4 and space exponent p = 2
+	// (central space ~ n^{3/2} edge words, O(p/eps) sampling rounds), and
+	// tap the per-round events the engine emits.
+	trace := &match.TraceObserver{}
+	solver, err := match.New(
+		match.WithEps(0.25),
+		match.WithSpaceExponent(2),
+		match.WithSeed(42),
+		match.WithObserver(trace),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), stream.NewEdgeStream(g))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,6 +43,13 @@ func main() {
 	fmt.Printf("resource usage: %d init + %d sampling rounds, peak %d sampled edges, %d oracle uses\n",
 		res.Stats.InitRounds, res.Stats.SamplingRounds,
 		res.Stats.PeakSampleEdges, res.Stats.OracleUses)
+	if n := len(trace.Events); n > 0 {
+		last := trace.Events[n-1]
+		fmt.Printf("observer: %d round events; final round entered with lambda=%.3f after %d passes\n",
+			n, last.Lambda, last.Passes)
+	}
+	fmt.Printf("dual certificate: optimum <= %.2f (lambda=%.3f, eps baked in at solve time)\n",
+		res.CertifiedUpperBound(), res.Lambda)
 
 	// Exact optimum for reference (O(n^3) blossom — fine at this size).
 	_, opt := matching.MaxWeightMatchingFloat(g, false)

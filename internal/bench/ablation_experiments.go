@@ -1,9 +1,9 @@
 package bench
 
 import (
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/match"
 )
 
 // EAblations — design-choice ablations called out in DESIGN.md: remove
@@ -32,13 +32,13 @@ func EAblations(cfg Config) Table {
 	}
 	type variant struct {
 		name string
-		mod  func(p *core.Profile)
+		mod  func(p *match.Profile)
 	}
 	variants := []variant{
-		{"full", func(p *core.Profile) {}},
-		{"no-oddsets", func(p *core.Profile) { p.DisableOddSets = true }},
-		{"stale-refine", func(p *core.Profile) { p.StaleRefinement = true }},
-		{"chi=1", func(p *core.Profile) { p.ChiOverride = 1 }},
+		{"full", func(p *match.Profile) {}},
+		{"no-oddsets", func(p *match.Profile) { p.DisableOddSets = true }},
+		{"stale-refine", func(p *match.Profile) { p.StaleRefinement = true }},
+		{"chi=1", func(p *match.Profile) { p.ChiOverride = 1 }},
 	}
 	graphs := []struct {
 		name string
@@ -54,22 +54,21 @@ func EAblations(cfg Config) Table {
 			continue
 		}
 		for _, v := range variants {
-			prof := core.Practical(eps)
+			prof := match.Practical(eps)
 			v.mod(&prof)
-			res, err := core.SolveGraph(gg.g, core.Options{
-				Eps: eps, P: 2, Seed: cfg.Seed + 223, Profile: &prof,
-				MaxRounds: maxRounds, // dual-certificate budget (τo-scale)
-				Workers:   cfg.Workers,
-			})
+			res, err := solveGraph(gg.g, eps, 2, cfg.Seed+223, cfg.Workers,
+				match.WithProfile(prof),
+				match.WithMaxRounds(maxRounds), // dual-certificate budget (τo-scale)
+			)
 			if err != nil {
 				t.Note("%s/%s: %v", gg.name, v.name, err)
 				continue
 			}
 			// The certified upper bound over kept edges, with the (1+eps)
-			// discretization slack folded in.
+			// discretization slack folded in at solve time.
 			bound := 0.0
 			if res.Lambda > 0 {
-				bound = res.DualObjective / res.Lambda * (1 + eps)
+				bound = res.CertifiedUpperBound()
 			}
 			t.AddRow(gg.name, v.name, fr(res.Weight/opt), fr(res.Lambda),
 				yn(res.Stats.EarlyStopped), d(res.Stats.WitnessEvents), fr(bound/opt))

@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"reflect"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/stream"
+	"repro/match"
 )
 
 // E15Backends — the access-layer contract behind "access to data": the
@@ -26,7 +27,12 @@ func E15Backends(cfg Config) Table {
 	if cfg.Quick {
 		spec.N, spec.M = 64, 600
 	}
-	opt := core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 503, Workers: cfg.Workers}
+	solver, err := match.New(match.WithEps(0.25), match.WithSpaceExponent(2),
+		match.WithSeed(cfg.Seed+503), match.WithWorkers(cfg.Workers))
+	if err != nil {
+		t.Note("configure: %v", err)
+		return t
+	}
 
 	gen, err := stream.NewGen(spec)
 	if err != nil {
@@ -81,9 +87,9 @@ func E15Backends(cfg Config) Table {
 		{"generator", genFresh},
 		{"sharded", sharded},
 	}
-	var base *core.Result
+	var base *match.Result
 	for _, be := range backends {
-		res, err := core.Solve(be.src, opt)
+		res, err := solver.Solve(context.Background(), be.src)
 		if err != nil {
 			t.Note("%s: %v", be.name, err)
 			continue
@@ -124,11 +130,17 @@ func E15Backends(cfg Config) Table {
 		return t
 	}
 	defer oocFile.Close()
-	prof := core.Practical(0.3)
+	prof := match.Practical(0.3)
 	prof.SparsifierK = 6
 	prof.ChiOverride = 1
-	oocRes, err := core.Solve(oocFile, core.Options{Eps: 0.3, P: 2, Seed: cfg.Seed + 507,
-		Workers: cfg.Workers, MaxRounds: 2, Profile: &prof})
+	oocSolver, err := match.New(match.WithEps(0.3), match.WithSpaceExponent(2),
+		match.WithSeed(cfg.Seed+507), match.WithWorkers(cfg.Workers),
+		match.WithMaxRounds(2), match.WithProfile(prof))
+	if err != nil {
+		t.Note("ooc configure: %v", err)
+		return t
+	}
+	oocRes, err := oocSolver.Solve(context.Background(), oocFile)
 	if err != nil {
 		t.Note("ooc solve: %v", err)
 		return t

@@ -108,27 +108,20 @@ func noteWorkers(t *Table, cfg Config) {
 	t.Note("workers=%d resolved to %d (results are bit-identical across worker counts)", cfg.Workers, resolved)
 }
 
+// IDs returns every experiment id in canonical run order.
+func IDs() []string {
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+		"e10", "e11", "e12", "e13", "e14", "e15", "ea", "es"}
+}
+
 // All runs every experiment and returns the tables in order.
 func All(cfg Config) []Table {
-	return []Table{
-		E1Approximation(cfg),
-		E2RoundsSpace(cfg),
-		E3Baselines(cfg),
-		E4Adaptivity(cfg),
-		E5TriangleGap(cfg),
-		E6Width(cfg),
-		E7Sparsifier(cfg),
-		E8Filtering(cfg),
-		E9MapReduce(cfg),
-		E10BMatching(cfg),
-		E11Congest(cfg),
-		E12Relaxations(cfg),
-		E13Scaling(cfg),
-		E14Workers(cfg),
-		E15Backends(cfg),
-		EAblations(cfg),
-		ESemiStream(cfg),
+	out := make([]Table, 0, len(IDs()))
+	for _, id := range IDs() {
+		fn, _ := ByID(id)
+		out = append(out, fn(cfg))
 	}
+	return out
 }
 
 // ByID returns the experiment runner for an id like "e7".

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/semistream"
 	"repro/internal/stream"
@@ -25,7 +24,7 @@ func semiStreamRows(g *graph.Graph, opt float64, cfg Config) [][]string {
 	m3 := semistream.ShortAugmentPasses(s3, semistream.OnePassGreedy(s3), 6)
 	add("3-augment-passes", m3.Weight(g), s3.Passes())
 
-	res, err := core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 311, Workers: cfg.Workers})
+	res, err := solveGraph(g, 0.25, 2, cfg.Seed+311, cfg.Workers)
 	if err == nil {
 		add("dual-primal(eps=1/4)", res.Weight, res.Stats.Passes)
 	}

@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/match"
+)
+
+// solveGraph runs the public match solver over an in-memory graph: the
+// harness consumes the same facade production callers do, and the engine
+// is reached only through it.
+func solveGraph(g *graph.Graph, eps, p float64, seed uint64, workers int, extra ...match.Option) (*match.Result, error) {
+	opts := append([]match.Option{
+		match.WithEps(eps),
+		match.WithSpaceExponent(p),
+		match.WithSeed(seed),
+		match.WithWorkers(workers),
+	}, extra...)
+	s, err := match.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(context.Background(), stream.NewEdgeStream(g))
+}

@@ -3,10 +3,10 @@ package bench
 import (
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/stream"
+	"repro/match"
 )
 
 // E1Approximation — Theorem 15's headline: (1-O(ε)) approximation for
@@ -41,7 +41,7 @@ func E1Approximation(cfg Config) Table {
 				continue
 			}
 			for _, eps := range epss {
-				res, err := core.SolveGraph(fam.g, core.Options{Eps: eps, P: 2, Seed: cfg.Seed + 7, Workers: cfg.Workers})
+				res, err := solveGraph(fam.g, eps, 2, cfg.Seed+7, cfg.Workers)
 				if err != nil {
 					t.Note("%s n=%d eps=%g: %v", fam.name, n, eps, err)
 					continue
@@ -83,7 +83,7 @@ func E2RoundsSpace(cfg Config) Table {
 		m := 10 * n
 		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 20}, cfg.Seed+uint64(n))
 		for _, p := range ps {
-			res, err := core.SolveGraph(g, core.Options{Eps: eps, P: p, Seed: cfg.Seed + 11, Workers: cfg.Workers})
+			res, err := solveGraph(g, eps, p, cfg.Seed+11, cfg.Workers)
 			if err != nil {
 				t.Note("n=%d p=%g: %v", n, p, err)
 				continue
@@ -125,13 +125,13 @@ func E3Baselines(cfg Config) Table {
 		s := stream.NewEdgeStream(g)
 		fm, fs := matching.WeightedFilter(s, 2, cfg.Seed+13, nil)
 		t.AddRow(d(n), d(m), "filtering[25]", fr(fm.Weight(g)/opt), d(fs.Rounds))
-		res, err := core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 17, Workers: cfg.Workers})
+		res, err := solveGraph(g, 0.25, 2, cfg.Seed+17, cfg.Workers)
 		if err == nil {
 			t.AddRow(d(n), d(m), "dual-primal(eps=1/4)", fr(res.Weight/opt),
 				d(res.Stats.InitRounds+res.Stats.SamplingRounds))
 		}
 		if !cfg.Quick {
-			res8, err := core.SolveGraph(g, core.Options{Eps: 0.125, P: 2, Seed: cfg.Seed + 17, Workers: cfg.Workers})
+			res8, err := solveGraph(g, 0.125, 2, cfg.Seed+17, cfg.Workers)
 			if err == nil {
 				t.AddRow(d(n), d(m), "dual-primal(eps=1/8)", fr(res8.Weight/opt),
 					d(res8.Stats.InitRounds+res8.Stats.SamplingRounds))
@@ -160,7 +160,7 @@ func E4Adaptivity(cfg Config) Table {
 		if cfg.Quick && eps != 0.25 {
 			continue
 		}
-		res, err := core.SolveGraph(g, core.Options{Eps: eps, P: 2, Seed: cfg.Seed + 31, Workers: cfg.Workers})
+		res, err := solveGraph(g, eps, 2, cfg.Seed+31, cfg.Workers)
 		if err != nil {
 			t.Note("eps=%g: %v", eps, err)
 			continue
@@ -197,7 +197,7 @@ func E13Scaling(cfg Config) Table {
 	for _, m := range ms {
 		g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 20}, cfg.Seed+uint64(m))
 		elapsed := timeIt(func() {
-			_, _ = core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 37, Workers: cfg.Workers})
+			_, _ = solveGraph(g, 0.25, 2, cfg.Seed+37, cfg.Workers)
 		})
 		perEdge := float64(elapsed.Nanoseconds()) / float64(m)
 		slope := ""
@@ -213,7 +213,7 @@ func E13Scaling(cfg Config) Table {
 	return t
 }
 
-// coreSolveB runs the dual-primal solver with defaults for E10.
-func coreSolveB(g *graph.Graph, seed uint64, workers int) (*core.Result, error) {
-	return core.SolveGraph(g, core.Options{Eps: 0.25, P: 2, Seed: seed, Workers: workers})
+// solveB runs the dual-primal solver with defaults for E10.
+func solveB(g *graph.Graph, seed uint64, workers int) (*match.Result, error) {
+	return solveGraph(g, 0.25, 2, seed, workers)
 }

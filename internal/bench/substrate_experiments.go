@@ -171,7 +171,7 @@ func E10BMatching(cfg Config) Table {
 		if opt == 0 {
 			continue
 		}
-		res, err := coreSolveB(g, cfg.Seed+89, cfg.Workers)
+		res, err := solveB(g, cfg.Seed+89, cfg.Workers)
 		if err != nil {
 			t.Note("%s: %v", reg.name, err)
 			continue

@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/sketch"
 	"repro/internal/sparsify"
@@ -118,11 +117,11 @@ func E14Workers(cfg Config) Table {
 	// Full solver: every sampling round runs the sharded pipeline.
 	solveG := graph.GNMParallel(solveN, solveM, wc, cfg.Seed+411, 0)
 	solveErrNoted := false
-	addRows("core-solve", solveN, solveM, func(w int) any {
-		res, err := core.SolveGraph(solveG, core.Options{Eps: 0.25, P: 2, Seed: cfg.Seed + 413, Workers: w})
+	addRows("match-solve", solveN, solveM, func(w int) any {
+		res, err := solveGraph(solveG, 0.25, 2, cfg.Seed+413, w)
 		if err != nil {
 			if !solveErrNoted {
-				t.Note("core-solve: %v", err)
+				t.Note("match-solve: %v", err)
 				solveErrNoted = true
 			}
 			return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -126,11 +127,32 @@ func SolveGraph(g *graph.Graph, opt Options) (*Result, error) {
 // function of (source edge sequence, Options) — every backend serving
 // the same sequence yields a bit-identical Result for any worker count.
 func Solve(src stream.Source, opt Options) (*Result, error) {
+	return SolveWith(context.Background(), src, opt, Extensions{})
+}
+
+// SolveWith is the engine entry point behind the public repro/match
+// facade: Solve plus the optional resource extensions. The context is
+// honored at pass and round boundaries — sequential sweeps abort within
+// ctxCheckEvery edges of cancellation on every backend, and the engine
+// returns ctx.Err() at the next checkpoint. Budget axes are enforced at
+// the same checkpoints; a trip returns the best-so-far primal result
+// together with a *BudgetError (errors.Is-matchable against
+// ErrBudgetExceeded) naming the axis. The returned *Result is non-nil
+// whenever the options validate: on cancellation or a budget trip its
+// Matching is the best found so far (feasibility is invariant — the
+// matching only ever grows by whole offline solutions) and its Stats
+// meter what was actually consumed. With an ample budget, a nil
+// observer, and an uncancelled context, SolveWith is bit-identical to
+// Solve: enforcement only reads meters the engine already keeps.
+func SolveWith(ctx context.Context, src stream.Source, opt Options, ext Extensions) (*Result, error) {
 	if !(opt.Eps > 0) || opt.Eps >= 0.5 {
 		return nil, errors.New("core: Eps must be in (0, 0.5)")
 	}
 	if !(opt.P > 1) {
 		return nil, errors.New("core: P must be > 1")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	prof := Practical(opt.Eps)
 	if opt.Profile != nil {
@@ -140,21 +162,103 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 	if src.Len() == 0 {
 		return res, nil
 	}
+	if ctx.Done() != nil {
+		// Only a cancellable context needs the guarded sweeps; plain
+		// Solve keeps the unwrapped source (identical code path).
+		src = newCtxSource(ctx, src)
+	}
 	eps := opt.Eps
 	n := src.N()
 	passes0 := src.Passes()
-	// Pass: W* scan — the only instance statistic the discretization
-	// needs that is not known a priori.
-	scheme, err := levels.NewScheme(eps, stream.MaxWeight(src), src.TotalB())
-	if err != nil {
-		return nil, err
-	}
 	acct := stream.NewSpaceAccountant()
+	budget := ext.Budget
+
+	// The pieces the abort path needs are declared up front: a checkpoint
+	// can fire before the dual state exists.
+	var (
+		scheme     *levels.Scheme
+		state      *dualState
+		nl         int
+		lambda     float64
+		bestWeight float64
+	)
+	bOf := func(v int) int { return src.B(v) }
+
+	// finalize fills the Result's meters and dual fields — the one block
+	// shared by the normal exit and every abort, so completed and
+	// tripped/cancelled runs can never diverge on a field.
+	finalize := func() {
+		res.Lambda = lambda
+		res.Weight = bestWeight
+		res.Stats.Passes = src.Passes() - passes0
+		res.Stats.PeakWords = acct.Peak()
+		if state != nil {
+			res.Stats.DualStateWords = n*nl + 4*len(state.zsets)
+			res.DualObjective = scheme.Unscale(state.Objective(bOf))
+		}
+	}
+
+	// abort finalizes the best-so-far Result for a cancelled,
+	// budget-tripped, or otherwise interrupted run. A budget trip fires
+	// only at pass/round boundaries, so its λ is the last completely
+	// evaluated one (0 if it tripped before any λ pass ran) and the
+	// certificate, when positive, stands. A cancellation can interrupt a
+	// λ pass mid-flight, leaving a prefix-minimum that is >= the true λ —
+	// an unsound certificate — so non-budget aborts surrender it: Lambda
+	// is zeroed (CertifiedUpperBound then reports +Inf) and only the
+	// primal Matching is the contract.
+	abort := func(err error) (*Result, error) {
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			lambda = 0
+		}
+		finalize()
+		return res, err
+	}
+
+	// check is the pass/round-boundary checkpoint: context first, then
+	// the pass and space budgets against the live meters. (The rounds
+	// budget is enforced at the top of the round loop, where "one more
+	// round" is decided.) All reads, no writes — an un-tripped run is
+	// bit-identical to an unbudgeted one.
+	check := func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if budget.Passes > 0 {
+			if used := src.Passes() - passes0; used > budget.Passes {
+				return &BudgetError{Axis: AxisPasses, Limit: budget.Passes, Used: used}
+			}
+		}
+		if budget.SpaceWords > 0 {
+			if peak := acct.Peak(); peak > budget.SpaceWords {
+				return &BudgetError{Axis: AxisSpaceWords, Limit: budget.SpaceWords, Used: peak}
+			}
+		}
+		return nil
+	}
+
+	// Pass: W* scan — the only instance statistic the discretization
+	// needs that is not known a priori. The checkpoint sits between the
+	// scan and the scheme construction: a cancelled scan yields a garbage
+	// W* (typically 0), which must surface as ctx.Err() with the
+	// best-so-far result, not as a scheme-validation error.
+	wstar := stream.MaxWeight(src)
+	if err := check(); err != nil {
+		return abort(err)
+	}
+	var err error
+	scheme, err = levels.NewScheme(eps, wstar, src.TotalB())
+	if err != nil {
+		// A degenerate instance (e.g. a custom backend serving only
+		// zero-weight edges), not bad options: the documented non-nil
+		// Result contract still holds, with the meters filled in.
+		return abort(err)
+	}
 	rng := xrand.New(opt.Seed)
 	workers := parallel.Workers(opt.Workers)
-	bOf := func(v int) int { return src.B(v) }
 	wHat := scheme.WHat
-	nl := scheme.NumLevels()
+	nl = scheme.NumLevels()
 	maxNorm := int(math.Ceil(4 / eps))
 	if prof.OddSetNormCap > 0 && maxNorm > prof.OddSetNormCap {
 		maxNorm = prof.OddSetNormCap
@@ -180,11 +284,17 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 			liveLevels = append(liveLevels, k)
 		}
 	}
+	if err := check(); err != nil {
+		return abort(err)
+	}
 
 	// ---- Initial solution (Lemmas 12, 20, 21) ----
-	state := newDualState(scheme, n, prof.ZPruneRel)
+	state = newDualState(scheme, n, prof.ZPruneRel)
 	initRounds := buildInitialSolution(src, liveLevels, scheme, prof, eps, opt.P, rng.Split(1), acct, state, workers)
 	res.Stats.InitRounds = initRounds
+	if err := check(); err != nil {
+		return abort(err)
+	}
 
 	// ---- Outer loop (Algorithms 2/4) ----
 	gammaChi := math.Pow(float64(n), 1/(2*opt.P))
@@ -202,7 +312,10 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 	if maxRounds == 0 {
 		maxRounds = int(math.Ceil(prof.MaxRoundsScale*3*opt.P/eps)) + 1
 	}
-	lambda := lambdaOf(src, scheme, state) // pass: initial λ evaluation
+	lambda = lambdaOf(src, scheme, state) // pass: initial λ evaluation
+	if err := check(); err != nil {
+		return abort(err)
+	}
 	beta := state.Objective(bOf)
 	if beta <= 0 {
 		beta = 1e-12
@@ -230,17 +343,25 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 	// arrays reused): each (use, level) job walks only its own level's
 	// edges rather than rescanning the whole chunk.
 	bySlot := make([][]int32, len(liveLevels))
-	bestWeight := 0.0
 
 	bestHat := 0.0
 	// For ε >= 1/3 the certificate target 1-3ε is non-positive and any
 	// dual point satisfies it; still run at least one sampling round so a
 	// matching is produced.
 	for round := 0; round < maxRounds && (round == 0 || lambda < target); round++ {
+		// The rounds budget trips exactly when the loop wants a round it
+		// is not allowed: a run that converges within budget never trips.
+		if budget.Rounds > 0 && round >= budget.Rounds {
+			return abort(&BudgetError{Axis: AxisRounds, Limit: budget.Rounds, Used: round + 1})
+		}
 		acct.BeginRound()
 		res.Stats.SamplingRounds++
 		res.Stats.LambdaTrace = append(res.Stats.LambdaTrace, lambda)
 		res.Stats.BetaTrace = append(res.Stats.BetaTrace, beta)
+		if ext.Observer != nil {
+			ext.Observer(RoundEvent{Round: round + 1, Lambda: lambda, Beta: beta,
+				Passes: src.Passes() - passes0, PeakWords: acct.Peak()})
+		}
 
 		// Outer covering parameters for this phase (Theorem 5 via
 		// Corollary 6): α from the current λ, σ = ε/(4αρo).
@@ -329,6 +450,9 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 			}
 			return true
 		})
+		if err := check(); err != nil {
+			return abort(err)
+		}
 		dispatch(chunk)
 		chunk = chunk[:0]
 		acct.Free(solveChunkEdges)
@@ -349,6 +473,9 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 		acct.Alloc(sampledTotal)
 		if cur := acct.Current(); cur > res.Stats.PeakSampleEdges {
 			res.Stats.PeakSampleEdges = cur
+		}
+		if err := check(); err != nil {
+			return abort(err)
 		}
 
 		// Offline solve on the union of sampled edges (Algorithm 2 step
@@ -434,16 +561,14 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 		acct.Free(sampledTotal)
 
 		lambda = lambdaOf(src, scheme, state) // pass: λ re-evaluation
+		if err := check(); err != nil {
+			return abort(err)
+		}
 	}
 	if lambda >= target {
 		res.Stats.EarlyStopped = true
 	}
-	res.Lambda = lambda
-	res.Stats.Passes = src.Passes() - passes0
-	res.Stats.PeakWords = acct.Peak()
-	res.Stats.DualStateWords = n*nl + 4*len(state.zsets)
-	res.DualObjective = scheme.Unscale(state.Objective(bOf))
-	res.Weight = bestWeight
+	finalize()
 	return res, nil
 }
 

@@ -1,0 +1,141 @@
+package match_test
+
+// Budget semantics: for each axis the returned best-so-far matching is
+// feasible, errors.Is(err, match.ErrBudgetExceeded) holds, the reported
+// trip axis is the constrained one, and an ample budget is a strict
+// no-op (bit-identical result).
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/match"
+)
+
+func budgetInstance() *graph.Graph {
+	return graph.GNM(64, 512, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 40}, 101)
+}
+
+func solveBudgeted(t *testing.T, b match.Budget) (*match.Result, error, stream.Source) {
+	t.Helper()
+	src := stream.NewEdgeStream(budgetInstance())
+	solver, err := match.New(match.WithSeed(7), match.WithWorkers(1), match.WithBudget(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, serr := solver.Solve(context.Background(), src)
+	return res, serr, src
+}
+
+// assertTrip checks the common contract of a tripped run.
+func assertTrip(t *testing.T, res *match.Result, err error, axis match.BudgetAxis) *match.BudgetError {
+	t.Helper()
+	if !errors.Is(err, match.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *match.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %v is not a *BudgetError", err)
+	}
+	if be.Axis != axis {
+		t.Fatalf("tripped axis %q, want %q (err: %v)", be.Axis, axis, err)
+	}
+	if be.Used <= be.Limit {
+		t.Errorf("trip reports used %d <= limit %d", be.Used, be.Limit)
+	}
+	if res == nil {
+		t.Fatal("tripped solve returned no best-so-far result")
+	}
+	return be
+}
+
+func TestBudgetRounds(t *testing.T) {
+	base, err, _ := solveBudgeted(t, match.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.SamplingRounds < 2 {
+		t.Fatalf("instance converges in %d rounds; budget test needs >= 2", base.Stats.SamplingRounds)
+	}
+	res, err, src := solveBudgeted(t, match.Budget{Rounds: 1})
+	assertTrip(t, res, err, match.AxisRounds)
+	if res.Stats.SamplingRounds != 1 {
+		t.Errorf("ran %d sampling rounds under a 1-round budget", res.Stats.SamplingRounds)
+	}
+	if verr := res.Validate(src); verr != nil {
+		t.Errorf("best-so-far matching infeasible: %v", verr)
+	}
+	if res.Weight <= 0 {
+		t.Error("one full round produced no matching")
+	}
+}
+
+func TestBudgetPasses(t *testing.T) {
+	// A run always wants at least 5 passes (3 setup/λ + 2 per round); a
+	// 4-pass budget trips after the first round's λ re-evaluation.
+	res, err, src := solveBudgeted(t, match.Budget{Passes: 4})
+	be := assertTrip(t, res, err, match.AxisPasses)
+	if be.Limit != 4 {
+		t.Errorf("limit %d recorded, want 4", be.Limit)
+	}
+	if res.Stats.Passes <= 4 {
+		t.Errorf("trip with only %d passes metered", res.Stats.Passes)
+	}
+	if verr := res.Validate(src); verr != nil {
+		t.Errorf("best-so-far matching infeasible: %v", verr)
+	}
+
+	// A 2-pass budget trips before any sampling: the best-so-far result
+	// is an empty (still feasible) matching.
+	early, err, src2 := solveBudgeted(t, match.Budget{Passes: 2})
+	assertTrip(t, early, err, match.AxisPasses)
+	if early.Stats.SamplingRounds != 0 {
+		t.Errorf("sampling ran despite a 2-pass budget: %+v", early.Stats)
+	}
+	if verr := early.Validate(src2); verr != nil {
+		t.Errorf("empty best-so-far matching infeasible: %v", verr)
+	}
+}
+
+func TestBudgetSpaceWords(t *testing.T) {
+	res, err, src := solveBudgeted(t, match.Budget{SpaceWords: 50})
+	be := assertTrip(t, res, err, match.AxisSpaceWords)
+	if be.Used <= 50 {
+		t.Errorf("space trip reports used %d <= limit 50", be.Used)
+	}
+	if res.Stats.PeakWords <= 50 {
+		t.Errorf("peak words %d inconsistent with a space trip at 50", res.Stats.PeakWords)
+	}
+	if verr := res.Validate(src); verr != nil {
+		t.Errorf("best-so-far matching infeasible: %v", verr)
+	}
+}
+
+func TestBudgetAmpleIsNoOp(t *testing.T) {
+	base, err, _ := solveBudgeted(t, match.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ample, err, _ := solveBudgeted(t, match.Budget{Passes: 1 << 20, Rounds: 1 << 20, SpaceWords: 1 << 40})
+	if err != nil {
+		t.Fatalf("ample budget tripped: %v", err)
+	}
+	if !reflect.DeepEqual(base, ample) {
+		t.Fatalf("ample budget changed the result\nbase:  w=%v stats=%+v\nample: w=%v stats=%+v",
+			base.Weight, base.Stats, ample.Weight, ample.Stats)
+	}
+}
+
+func TestBudgetZeroValueUnlimited(t *testing.T) {
+	if !(match.Budget{}).IsZero() {
+		t.Fatal("zero Budget not IsZero")
+	}
+	res, err, _ := solveBudgeted(t, match.Budget{})
+	if err != nil || res.Weight <= 0 {
+		t.Fatalf("unbudgeted solve failed: %v %v", res, err)
+	}
+}

@@ -1,0 +1,279 @@
+package match_test
+
+// Context plumbing: Solve(ctx, src) must return promptly with ctx.Err()
+// when cancelled mid-pass, on every stream backend. The blocking wrapper
+// below parks the sweep partway through a pass until the context is
+// cancelled — if cancellation were only honored between passes, these
+// tests would hang.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/match"
+)
+
+// blockingSource delegates to an inner backend but parks the first
+// metered pass at edge `at`: it signals `reached` and then blocks until
+// ctx is done, after which it keeps delivering edges (so only the
+// engine's own cancellation handling can end the pass).
+type blockingSource struct {
+	stream.Source
+	ctx     context.Context
+	at      int
+	reached chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingSource) ForEach(f func(idx int, e graph.Edge) bool) {
+	delivered := 0
+	b.Source.ForEach(func(idx int, e graph.Edge) bool {
+		if delivered == b.at {
+			b.once.Do(func() { close(b.reached) })
+			<-b.ctx.Done()
+		}
+		delivered++
+		return f(idx, e)
+	})
+}
+
+// cancelBackends builds the same instance behind every backend.
+func cancelBackends(t *testing.T) map[string]stream.Source {
+	t.Helper()
+	spec := stream.GenSpec{N: 80, M: 4000,
+		Weights: graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, Seed: 41}
+	gen, err := stream.NewGen(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stream.Materialize(gen)
+	path := filepath.Join(t.TempDir(), "cancel.rbg")
+	if err := stream.WriteBinaryFile(path, stream.NewEdgeStream(g)); err != nil {
+		t.Fatal(err)
+	}
+	file, err := stream.OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { file.Close() })
+	genFresh, err := stream.NewGen(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := g.M() / 2
+	a, b := graph.New(g.N()), graph.New(g.N())
+	for i, e := range g.Edges() {
+		dst := a
+		if i >= half {
+			dst = b
+		}
+		dst.MustAddEdge(int(e.U), int(e.V), e.W)
+	}
+	concat, err := stream.Concat(stream.NewEdgeStream(a), stream.NewEdgeStream(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]stream.Source{
+		"EdgeStream":   stream.NewEdgeStream(g),
+		"FileSource":   file,
+		"GenSource":    genFresh,
+		"ConcatSource": concat,
+	}
+}
+
+func TestSolveCancelledMidPassEveryBackend(t *testing.T) {
+	for name, inner := range cancelBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			src := &blockingSource{Source: inner, ctx: ctx, at: 37, reached: make(chan struct{})}
+			solver, err := match.New(match.WithSeed(5), match.WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			type outcome struct {
+				res *match.Result
+				err error
+			}
+			done := make(chan outcome, 1)
+			go func() {
+				res, err := solver.Solve(ctx, src)
+				done <- outcome{res, err}
+			}()
+			select {
+			case <-src.reached:
+			case <-time.After(10 * time.Second):
+				t.Fatal("solve never started a pass")
+			}
+			cancel()
+			select {
+			case out := <-done:
+				if !errors.Is(out.err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", out.err)
+				}
+				if out.res == nil {
+					t.Fatal("cancelled solve returned a nil best-so-far result")
+				}
+				if out.res.Stats.Passes < 1 {
+					t.Errorf("cancelled mid-pass but no pass metered: %+v", out.res.Stats)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("solve did not return promptly after mid-pass cancellation")
+			}
+		})
+	}
+}
+
+// TestSolveAlreadyCancelled pins the contract at its earliest edge: a
+// context cancelled before Solve even starts must come back as ctx.Err()
+// with a (zeroed) best-so-far result — not as an internal error from the
+// aborted W* scan feeding the discretization garbage.
+func TestSolveAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.GNM(30, 100, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 10}, 3)
+	solver, err := match.New(match.WithSeed(5), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Solve(ctx, stream.NewEdgeStream(g))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("pre-cancelled solve returned a nil best-so-far result")
+	}
+}
+
+// passBlockingSource parks a chosen metered pass at a chosen edge until
+// ctx is done — the instrument for cancelling a specific pass (e.g. a λ
+// evaluation) mid-flight.
+type passBlockingSource struct {
+	stream.Source
+	ctx     context.Context
+	pass    int // 1-based pass to park
+	at      int // edge offset within that pass
+	reached chan struct{}
+	once    sync.Once
+	seen    int
+}
+
+func (b *passBlockingSource) ForEach(f func(idx int, e graph.Edge) bool) {
+	b.seen++
+	pass, delivered := b.seen, 0
+	b.Source.ForEach(func(idx int, e graph.Edge) bool {
+		if pass == b.pass && delivered == b.at {
+			b.once.Do(func() { close(b.reached) })
+			<-b.ctx.Done()
+		}
+		delivered++
+		return f(idx, e)
+	})
+}
+
+// TestSolveCancelledDuringLambdaPassMarshals pins the certificate
+// contract of a cancelled run: aborting a λ evaluation mid-pass leaves a
+// prefix-minimum that would be an unsound certificate, so the engine
+// surrenders it — Lambda is zeroed (never lambdaOf's +Inf sentinel, so
+// the best-so-far Result still marshals to JSON) and
+// CertifiedUpperBound reports +Inf.
+func TestSolveCancelledDuringLambdaPassMarshals(t *testing.T) {
+	g := graph.GNM(60, 2000, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Pass 3 is the initial λ evaluation (after the W* scan and the
+	// level census); parking it at edge 0 aborts it before any kept edge
+	// lowers lambdaOf's +Inf running minimum.
+	src := &passBlockingSource{Source: stream.NewEdgeStream(g), ctx: ctx,
+		pass: 3, at: 0, reached: make(chan struct{})}
+	solver, err := match.New(match.WithSeed(5), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *match.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := solver.Solve(ctx, src)
+		done <- outcome{res, err}
+	}()
+	select {
+	case <-src.reached:
+	case <-time.After(10 * time.Second):
+		t.Fatal("solve never reached the λ pass")
+	}
+	cancel()
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("solve did not return after cancellation")
+	}
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", out.err)
+	}
+	if out.res.Lambda != 0 {
+		t.Fatalf("cancelled run kept lambda %v: a partial λ evaluation must surrender the certificate", out.res.Lambda)
+	}
+	if !math.IsInf(out.res.CertifiedUpperBound(), 1) {
+		t.Fatalf("cancelled run still certifies a bound: %v", out.res.CertifiedUpperBound())
+	}
+	if _, err := json.Marshal(out.res); err != nil {
+		t.Fatalf("cancelled best-so-far result not JSON-marshalable: %v", err)
+	}
+}
+
+// TestSolveBudgetTripKeepsCertificate pins the complement: a budget trip
+// fires only at pass boundaries, after complete λ evaluations, so the
+// best-so-far result keeps a sound (finite, positive) certificate.
+func TestSolveBudgetTripKeepsCertificate(t *testing.T) {
+	g := graph.GNM(64, 512, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 40}, 101)
+	solver, err := match.New(match.WithSeed(7), match.WithWorkers(1),
+		match.WithBudget(match.Budget{Rounds: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), stream.NewEdgeStream(g))
+	if !errors.Is(err, match.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res.Lambda <= 0 {
+		t.Fatalf("budget trip surrendered the certificate: lambda = %v", res.Lambda)
+	}
+	if math.IsInf(res.CertifiedUpperBound(), 1) {
+		t.Fatal("budget-tripped run reports no certified bound")
+	}
+}
+
+func TestSolveDeadlineExceeded(t *testing.T) {
+	backends := cancelBackends(t)
+	inner := backends["EdgeStream"]
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	src := &blockingSource{Source: inner, ctx: ctx, at: 11, reached: make(chan struct{})}
+	solver, err := match.New(match.WithSeed(5), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := solver.Solve(ctx, src)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("deadline-exceeded solve returned a nil best-so-far result")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("solve took %v past a 50ms deadline", elapsed)
+	}
+}

@@ -1,0 +1,151 @@
+// Package match is the public face of the reproduction of "Access to
+// Data and Number of Iterations: Dual Primal Algorithms for Maximum
+// Matching under Resource Constraints" (Ahn–Guha, SPAA 2015): a
+// (1-ε)-approximate weighted nonbipartite maximum b-matching solver
+// whose resource axes — passes over the data, adaptive rounds, central
+// space — are explicit, enforceable inputs rather than post-hoc
+// observations.
+//
+// A Solver is configured once with functional options and then run
+// against any Source backend:
+//
+//	solver, err := match.New(
+//	    match.WithEps(0.25),           // accuracy: (1-O(ε))·OPT
+//	    match.WithSpaceExponent(2),    // central space ~ n^(1+1/p), O(p/ε) rounds
+//	    match.WithSeed(42),
+//	)
+//	res, err := solver.Solve(ctx, src)
+//
+// Solve honors ctx cancellation and deadlines at pass and round
+// boundaries on every backend (in-memory, file-backed, generator-backed,
+// sharded). A Budget makes the paper's resource constraints binding: the
+// engine stops the moment an axis runs out and returns the best-so-far
+// matching together with a *BudgetError that errors.Is-matches
+// ErrBudgetExceeded:
+//
+//	solver, _ := match.New(match.WithBudget(match.Budget{Rounds: 4}))
+//	res, err := solver.Solve(ctx, src)
+//	if errors.Is(err, match.ErrBudgetExceeded) {
+//	    var be *match.BudgetError
+//	    errors.As(err, &be) // be.Axis, be.Limit, be.Used
+//	    // res.Matching is the best feasible matching found in 4 rounds
+//	}
+//
+// An Observer streams the per-round dual trajectory (λ, β) and resource
+// meters while the solve runs. The default-options in-memory path is
+// bit-identical to the internal engine's historical behavior, pinned by
+// an equivalence test over a 14-run corpus; the Result is a pure
+// function of (edge sequence, options) for every backend and worker
+// count.
+package match
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Source is the "access to data" abstraction a Solver consumes: a
+// replayable, read-only edge sequence with explicit pass metering. Four
+// backends ship with the module — stream.NewEdgeStream (in-memory),
+// stream.OpenBinary (on-disk, out-of-core), stream.NewGen (replayed
+// generator) and stream.Concat (sharded composition) — and all of them
+// yield bit-identical Results on the same edge sequence.
+type Source = stream.Source
+
+// Default option values: a mid-accuracy, laptop-friendly configuration.
+const (
+	// DefaultEps is the accuracy target ε used when WithEps is not given.
+	DefaultEps = 0.25
+	// DefaultSpaceExponent is the space exponent p used when
+	// WithSpaceExponent is not given.
+	DefaultSpaceExponent = 2.0
+	// DefaultSeed drives all randomness when WithSeed is not given.
+	DefaultSeed = 1
+)
+
+// ErrInvalidOption is the sentinel wrapped by every option-validation
+// error New returns.
+var ErrInvalidOption = errors.New("match: invalid option")
+
+// Solver is a configured dual-primal solve. It is immutable after New
+// and safe for concurrent Solve calls (each run keeps its own state; the
+// configured Observer is shared and must tolerate that if solves are
+// concurrent).
+type Solver struct {
+	opt    core.Options
+	budget Budget
+	obs    Observer
+}
+
+// New builds a Solver from functional options; unspecified knobs take
+// the Default* values. All validation happens here — a non-nil Solver
+// never fails to start for configuration reasons.
+func New(opts ...Option) (*Solver, error) {
+	s := &Solver{opt: core.Options{
+		Eps:  DefaultEps,
+		P:    DefaultSpaceExponent,
+		Seed: DefaultSeed,
+	}}
+	for _, o := range opts {
+		o(s)
+	}
+	if !(s.opt.Eps > 0) || s.opt.Eps >= 0.5 {
+		return nil, fmt.Errorf("%w: eps %v outside (0, 0.5)", ErrInvalidOption, s.opt.Eps)
+	}
+	if !(s.opt.P > 1) {
+		return nil, fmt.Errorf("%w: space exponent %v must be > 1", ErrInvalidOption, s.opt.P)
+	}
+	if s.opt.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers %d must be >= 0", ErrInvalidOption, s.opt.Workers)
+	}
+	if s.opt.MaxRounds < 0 {
+		return nil, fmt.Errorf("%w: max rounds %d must be >= 0", ErrInvalidOption, s.opt.MaxRounds)
+	}
+	if s.budget.Passes < 0 || s.budget.Rounds < 0 || s.budget.SpaceWords < 0 {
+		return nil, fmt.Errorf("%w: budget axes must be >= 0 (0 = unlimited), got %+v", ErrInvalidOption, s.budget)
+	}
+	return s, nil
+}
+
+// Eps returns the configured accuracy target.
+func (s *Solver) Eps() float64 { return s.opt.Eps }
+
+// Budget returns the configured resource budget (zero value when none).
+func (s *Solver) Budget() Budget { return s.budget }
+
+// Solve runs the dual-primal algorithm over src.
+//
+// The context is checked at pass and round boundaries on every backend;
+// once it is cancelled (or its deadline passes), in-flight sweeps abort
+// within a constant number of edges and Solve returns ctx.Err() together
+// with the best-so-far Result.
+//
+// A configured Budget is enforced at the same checkpoints. On a trip,
+// Solve returns the best-so-far Result and a *BudgetError matching
+// ErrBudgetExceeded; Result.Matching is always feasible (it only ever
+// grows by whole offline solutions) and Result.Stats meters what was
+// actually consumed. An ample budget changes nothing: the run is
+// bit-identical to an unbudgeted one.
+//
+// The Result is a pure function of (edge sequence, options): every
+// backend serving the same sequence returns a bit-identical Result for
+// any worker count.
+func (s *Solver) Solve(ctx context.Context, src Source) (*Result, error) {
+	var hook func(core.RoundEvent)
+	if s.obs != nil {
+		obs := s.obs
+		hook = func(ev core.RoundEvent) { obs.OnRound(ev) }
+	}
+	res, err := core.SolveWith(ctx, src, s.opt, core.Extensions{
+		Budget:   s.budget,
+		Observer: hook,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return fromCore(res, s.opt.Eps), err
+}

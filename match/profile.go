@@ -1,0 +1,20 @@
+package match
+
+import "repro/internal/core"
+
+// Profile collects the algorithm's tunable constants (covering widths,
+// iteration caps, sparsifier knobs, ablation switches). Most callers
+// never touch it: the default is Practical(eps). Pass a (possibly
+// modified) Profile through WithProfile.
+type Profile = core.Profile
+
+// Practical returns the laptop-sized constant regime: the algorithm's
+// structure and asymptotic knobs are preserved while iteration budgets
+// are capped so runs finish. Approximation quality under this profile is
+// measured (experiment E1), not proven. This is the default profile.
+func Practical(eps float64) Profile { return core.Practical(eps) }
+
+// Faithful returns the paper's own constants — astronomically
+// conservative at laptop scale, useful for structure checks on tiny
+// instances.
+func Faithful(eps float64) Profile { return core.Faithful(eps) }
