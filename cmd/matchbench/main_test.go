@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDoc writes a minimal BENCH capture for compare tests.
+func writeDoc(t *testing.T, path string, doc benchDoc) {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareCaptures pins the -compare contract: per-experiment deltas,
+// a regression flag past the threshold, added/removed rows for suite
+// growth, and totals.
+func TestCompareCaptures(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, benchDoc{Rev: "pr3", TotalWallMS: 130, Experiments: []benchItem{
+		{ID: "E1", WallMS: 100},
+		{ID: "E2", WallMS: 20},
+		{ID: "E3", WallMS: 10},
+	}})
+	writeDoc(t, newPath, benchDoc{Rev: "pr4", TotalWallMS: 165, Experiments: []benchItem{
+		{ID: "E1", WallMS: 101}, // within noise: no flag
+		{ID: "E2", WallMS: 60},  // 3x slower: REGRESSION
+		{ID: "E16", WallMS: 4},  // new experiment: added
+	}})
+	var out bytes.Buffer
+	if err := runCompare(&out, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"REGRESSION", "added", "removed", "pr3", "pr4", "1 regression flags"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+	if e1 := lineOf(got, "E1"); strings.Contains(e1, "REGRESSION") {
+		t.Errorf("E1 within noise must not be flagged: %q", e1)
+	}
+	if e3 := lineOf(got, "E3"); !strings.Contains(e3, "removed") {
+		t.Errorf("E3 missing from new capture must be 'removed': %q", e3)
+	}
+}
+
+func TestCompareMissingFile(t *testing.T) {
+	if err := runCompare(&bytes.Buffer{}, "/no/such/a.json", "/no/such/b.json"); err == nil {
+		t.Fatal("expected an error for missing captures")
+	}
+}
+
+// lineOf returns the first output line starting with the given id.
+func lineOf(s, id string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, id+" ") {
+			return line
+		}
+	}
+	return ""
+}

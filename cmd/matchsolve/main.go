@@ -12,6 +12,12 @@
 //	matchsolve -input edges.txt -convert big.rbg      # text -> binary, no solve
 //	matchsolve -n 200 -m 2000 -json                   # machine-readable result
 //	matchsolve -n 200 -m 2000 -max-rounds 2           # enforce a round budget
+//	matchsolve -algo list                             # enumerate the registry
+//	matchsolve -n 200 -m 2000 -algo greedy            # a different substrate
+//
+// Every algorithm in the registry (-algo list) runs under the same
+// engine driver: budgets, the stats meters and context handling behave
+// identically whichever substrate computes the matching.
 //
 // The binary format (-format bin) is solved through the file-backed
 // source: edges are read in buffered passes and never fully
@@ -51,7 +57,8 @@ func main() {
 // solveOutput is the -json document: the instance summary, the full
 // public result, and — when a budget tripped — the axis details.
 type solveOutput struct {
-	Instance struct {
+	Algorithm string `json:"algorithm"`
+	Instance  struct {
 		N      int `json:"n"`
 		M      int `json:"m"`
 		TotalB int `json:"totalB"`
@@ -86,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxPasses := fs.Int("max-passes", 0, "budget: metered passes over the input (0 = unlimited)")
 	maxRounds := fs.Int("max-rounds", 0, "budget: adaptive sampling rounds (0 = unlimited)")
 	maxWords := fs.Int("max-words", 0, "budget: peak central storage in words (0 = unlimited)")
+	algo := fs.String("algo", match.DefaultAlgorithm, "matching algorithm from the registry, or 'list' to enumerate")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,6 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(formatStr string, a ...any) int {
 		fmt.Fprintf(stderr, formatStr+"\n", a...)
 		return 1
+	}
+
+	if *algo == "list" {
+		printAlgorithms(stdout)
+		return 0
 	}
 
 	// Assemble the instance behind a Source. The binary path stays
@@ -154,6 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		match.WithSeed(*seed+2),
 		match.WithWorkers(*workers),
 		match.WithBudget(match.Budget{Passes: *maxPasses, Rounds: *maxRounds, SpaceWords: *maxWords}),
+		match.WithAlgorithm(*algo),
 	)
 	if err != nil {
 		return fail("configure: %v", err)
@@ -177,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		out := solveOutput{Result: res, BudgetExceeded: budgetErr, Verification: verif}
+		out := solveOutput{Algorithm: *algo, Result: res, BudgetExceeded: budgetErr, Verification: verif}
 		out.Instance.N = src.N()
 		out.Instance.M = src.Len()
 		out.Instance.TotalB = src.TotalB()
@@ -187,6 +201,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail("encode: %v", err)
 		}
 	} else {
+		if *algo != match.DefaultAlgorithm {
+			fmt.Fprintf(stdout, "algorithm       %s\n", *algo)
+		}
 		fmt.Fprintf(stdout, "instance        n=%d m=%d B=%d\n", src.N(), src.Len(), src.TotalB())
 		fmt.Fprintf(stdout, "matching        edges=%d weight=%.4f\n", res.Matching.Size(), res.Weight)
 		fmt.Fprintf(stdout, "dual            objective=%.4f lambda=%.4f certified-bound=%.4f\n",
@@ -207,6 +224,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitBudget
 	}
 	return 0
+}
+
+// printAlgorithms renders the registry as an aligned table — the
+// -algo list enumeration.
+func printAlgorithms(w io.Writer) {
+	infos := match.Algorithms()
+	rows := make([][4]string, 0, len(infos)+1)
+	rows = append(rows, [4]string{"NAME", "MODEL", "GUARANTEE", "RESOURCES"})
+	for _, info := range infos {
+		rows = append(rows, [4]string{info.Name, info.Model, info.Guarantee, info.Resources})
+	}
+	var width [3]int
+	for _, r := range rows {
+		for i := 0; i < 3; i++ {
+			if len(r[i]) > width[i] {
+				width[i] = len(r[i])
+			}
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-*s  %-*s  %-*s  %s\n", width[0], r[0], width[1], r[1], width[2], r[2], r[3])
+	}
 }
 
 func readTextGraph(path, format string) (*graph.Graph, error) {

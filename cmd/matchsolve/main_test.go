@@ -26,6 +26,28 @@ func runCLI(t *testing.T, args ...string) string {
 	return out.String()
 }
 
+// checkGolden compares got against the named golden file (creating or
+// rewriting it under -update-golden).
+func checkGolden(t *testing.T, got, name string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("CLI output drifted from %s.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
 // TestGoldenSmallInstance pins the full CLI output — matching, dual
 // certificate, resource stats, verification ratio — on a small seeded
 // instance, so any solver or accounting regression trips tier-1.
@@ -161,6 +183,58 @@ func TestBudgetTrippedExit(t *testing.T) {
 	}
 	if doc.BudgetExceeded == nil || doc.BudgetExceeded.Axis != "passes" || doc.BudgetExceeded.Limit != 4 {
 		t.Fatalf("budgetExceeded not reported in JSON: %+v\n%s", doc.BudgetExceeded, out.String())
+	}
+}
+
+// TestAlgoListGolden pins the -algo list enumeration of the algorithm
+// registry: name, model, guarantee and resource profile per entry.
+func TestAlgoListGolden(t *testing.T) {
+	got := runCLI(t, "-algo", "list")
+	checkGolden(t, got, "algo_list.golden")
+	for _, name := range []string{"dual-primal", "greedy", "greedy-augment", "clique-maximal", "hopcroft-karp"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("-algo list missing %q:\n%s", name, got)
+		}
+	}
+}
+
+// TestGoldenAlgoSelection pins a non-default substrate end to end
+// through -algo: the algorithm line, its matching, and the shared
+// resource stats on the same seeded instance as the main golden.
+func TestGoldenAlgoSelection(t *testing.T) {
+	got := runCLI(t, "-n", "40", "-m", "200", "-wmax", "20", "-seed", "3",
+		"-workers", "1", "-algo", "greedy-augment", "-verify")
+	checkGolden(t, got, "algo_greedy_augment.golden")
+	if !strings.Contains(got, "algorithm       greedy-augment") {
+		t.Errorf("algorithm line missing:\n%s", got)
+	}
+}
+
+// TestAlgoBudgetUniform pins that budgets work identically through
+// every substrate: a 1-round budget trips the multi-round
+// greedy-augment run with the standard exit code and stderr axis.
+func TestAlgoBudgetUniform(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "40", "-m", "200", "-seed", "3", "-workers", "1",
+		"-algo", "greedy-augment", "-max-rounds", "1"}, &out, &errOut)
+	if code != exitBudget {
+		t.Fatalf("budget-tripped run exited %d, want %d\nstderr: %s", code, exitBudget, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "budget exceeded on rounds") {
+		t.Fatalf("stderr missing the tripped axis: %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), "matching") {
+		t.Fatalf("best-so-far result not printed:\n%s", out.String())
+	}
+}
+
+func TestUnknownAlgoFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-algo", "nope"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown -algo exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "registered") {
+		t.Fatalf("stderr should list the registered algorithms: %q", errOut.String())
 	}
 }
 

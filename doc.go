@@ -9,17 +9,23 @@
 // solver with functional options, Solver.Solve(ctx, src) runs it
 // against any stream backend with context cancellation honored at pass
 // and round boundaries, match.Budget makes the paper's resource axes
-// (passes, rounds, space) enforceable with best-so-far semantics, and
-// an Observer streams the per-round dual trajectory. See the package
-// documentation of repro/match for examples.
+// (passes, rounds, space) enforceable with best-so-far semantics, an
+// Observer streams the per-round dual trajectory, and
+// match.WithAlgorithm selects any substrate from the algorithm registry
+// (match.Algorithms) — all of them run on one shared round-loop driver,
+// so resources meter and budget identically across models of
+// computation. See the package documentation of repro/match for
+// runnable examples.
 //
-// The engine lives under internal/: the dual-primal solver (core), the
-// substrates it depends on (sketch, sparsify, matching, lp, oddset,
-// cover, pack, levels, stream, graph, parallel — the sharded worker
-// pool), the distributed-model simulators (mapreduce, congest,
-// semistream) and the experiment harness (bench). See DESIGN.md for the
-// system inventory (section 8 documents the facade) and EXPERIMENTS.md
-// for measured results.
+// The machinery lives under internal/: the shared round-loop driver and
+// registry (engine), the dual-primal solver (core) and the ported
+// substrates behind the registry (algos), the components they depend on
+// (sketch, sparsify, matching, lp, oddset, cover, pack, levels, stream,
+// graph, parallel — the sharded worker pool), the distributed-model
+// simulators (mapreduce, congest, semistream) and the experiment
+// harness (bench). See DESIGN.md for the system inventory (section 8
+// documents the facade, section 9 the engine) and EXPERIMENTS.md for
+// measured results.
 //
 // The root package carries the benchmark entry points (bench_test.go):
 // one testing.B benchmark per experiment table.

@@ -49,13 +49,21 @@ func main() {
 			p, len(res.Pairs), res.Stats.Rounds, res.MaxSampleMsgWords, budget, status)
 	}
 
-	// Centralized reference: the (1-ε) dual-primal solver through the
-	// public facade, on the same instance.
-	solver, err := match.New(match.WithEps(0.25), match.WithSpaceExponent(2), match.WithSeed(31))
+	// The same protocol through the public registry: the engine driver
+	// owns the loop, so the clique rounds land on the same Stats meters
+	// (and under the same budgets) as every other algorithm.
+	viaRegistry, err := match.Solve(context.Background(), stream.NewEdgeStream(g),
+		match.WithAlgorithm("clique-maximal"), match.WithSpaceExponent(2), match.WithSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref, err := solver.Solve(context.Background(), stream.NewEdgeStream(g))
+	fmt.Printf("via match.WithAlgorithm(%q): %d edges, %d driver rounds = simulated clique rounds\n",
+		"clique-maximal", viaRegistry.Matching.Size(), viaRegistry.Stats.SamplingRounds)
+
+	// Centralized reference: the (1-ε) dual-primal solver through the
+	// public facade, on the same instance.
+	ref, err := match.Solve(context.Background(), stream.NewEdgeStream(g),
+		match.WithEps(0.25), match.WithSpaceExponent(2), match.WithSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}

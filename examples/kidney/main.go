@@ -105,16 +105,12 @@ func main() {
 	// The operational constraint is explicit: at most 6 adaptive rounds
 	// before the exchange must act. If the budget trips, the engine hands
 	// back the best feasible set of swaps it has found so far.
-	solver, err := match.New(
+	res, err := match.Solve(context.Background(), stream.NewEdgeStream(g),
 		match.WithEps(0.25),
 		match.WithSpaceExponent(2),
 		match.WithSeed(11),
 		match.WithBudget(match.Budget{Rounds: 6}),
 	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := solver.Solve(context.Background(), stream.NewEdgeStream(g))
 	switch {
 	case errors.Is(err, match.ErrBudgetExceeded):
 		var be *match.BudgetError

@@ -61,11 +61,8 @@ func main() {
 	// passes per sampling round) cuts the run at the first checkpoint
 	// where the meter exceeds it — each pass is one MapReduce round in
 	// the Section 4.2 correspondence.
-	solver, err := match.New(match.WithSeed(17), match.WithBudget(match.Budget{Passes: 9}))
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := solver.Solve(context.Background(), stream.NewEdgeStream(merged))
+	res, err := match.Solve(context.Background(), stream.NewEdgeStream(merged),
+		match.WithSeed(17), match.WithBudget(match.Budget{Passes: 9}))
 	switch {
 	case errors.Is(err, match.ErrBudgetExceeded):
 		var be *match.BudgetError

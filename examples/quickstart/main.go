@@ -22,20 +22,16 @@ func main() {
 	// weights uniform in [1, 50].
 	g := graph.GNM(120, 1000, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 50}, 7)
 
-	// Configure the solver with eps = 1/4 and space exponent p = 2
-	// (central space ~ n^{3/2} edge words, O(p/eps) sampling rounds), and
-	// tap the per-round events the engine emits.
+	// Solve with eps = 1/4 and space exponent p = 2 (central space ~
+	// n^{3/2} edge words, O(p/eps) sampling rounds) through the one-shot
+	// helper, tapping the per-round events the engine emits.
 	trace := &match.TraceObserver{}
-	solver, err := match.New(
+	res, err := match.Solve(context.Background(), stream.NewEdgeStream(g),
 		match.WithEps(0.25),
 		match.WithSpaceExponent(2),
 		match.WithSeed(42),
 		match.WithObserver(trace),
 	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := solver.Solve(context.Background(), stream.NewEdgeStream(g))
 	if err != nil {
 		log.Fatal(err)
 	}

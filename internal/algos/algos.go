@@ -1,0 +1,35 @@
+// Package algos ports the module's non-dual-primal matching substrates
+// onto the engine.Algorithm contract and registers them: the
+// semi-streaming one-pass greedy (with and without short-augmentation
+// passes), the congested-clique maximal matching protocol, and the exact
+// Hopcroft–Karp bipartite baseline. Each adapter pays for its matching
+// in the paper's currency — metered passes, driver rounds, accountant
+// words — so every algorithm answers a solve with comparable resource
+// stats, honors budgets with best-so-far semantics, and aborts within a
+// pass on cancellation, exactly like the dual-primal solver. The
+// dual-primal registration itself lives in internal/core (the solver is
+// the engine's first Algorithm); this package holds everything ported
+// after it.
+package algos
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// graphWords estimates the central storage of a fully materialized
+// graph: one edge record plus two adjacency entries per edge, one
+// capacity word per vertex. Algorithms that must hold the whole input
+// (the clique coordinator's snapshot, the exact baseline) charge this to
+// the accountant so their space axis honestly dwarfs the streaming
+// algorithms' — that gap is the paper's point, not an accounting leak.
+func graphWords(g *graph.Graph) int { return 4*g.M() + g.N() }
+
+// materialize reads the whole source into memory as one metered pass
+// and charges the materialization to the run's accountant.
+func materialize(run *engine.Run, src stream.Source) *graph.Graph {
+	g := stream.Materialize(src)
+	run.Acct.Alloc(graphWords(g))
+	return g
+}

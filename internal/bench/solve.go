@@ -8,9 +8,12 @@ import (
 	"repro/match"
 )
 
-// solveGraph runs the public match solver over an in-memory graph: the
-// harness consumes the same facade production callers do, and the engine
-// is reached only through it.
+// solveGraph runs the public match solver over an in-memory graph
+// through the one-shot match.Solve helper — the same graph→source→solve
+// glue the examples use, so the harness consumes the facade exactly as
+// production callers do and the engine is reached only through it.
+// Extra options (an algorithm selection, a budget, a profile) append
+// after the shared base.
 func solveGraph(g *graph.Graph, eps, p float64, seed uint64, workers int, extra ...match.Option) (*match.Result, error) {
 	opts := append([]match.Option{
 		match.WithEps(eps),
@@ -18,9 +21,5 @@ func solveGraph(g *graph.Graph, eps, p float64, seed uint64, workers int, extra 
 		match.WithSeed(seed),
 		match.WithWorkers(workers),
 	}, extra...)
-	s, err := match.New(opts...)
-	if err != nil {
-		return nil, err
-	}
-	return s.Solve(context.Background(), stream.NewEdgeStream(g))
+	return match.Solve(context.Background(), stream.NewEdgeStream(g), opts...)
 }

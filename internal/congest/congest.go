@@ -32,69 +32,79 @@ type Stats struct {
 	TotalWords      int
 }
 
-// Clique is the simulator.
+// Clique is the simulator. It holds the pending inboxes between rounds,
+// so a protocol can be run wholesale (Run) or stepped one synchronous
+// round at a time (Step) — the engine's round-loop driver uses the
+// latter, so one simulated clique round is one driver round.
 type Clique struct {
-	N     int
-	stats Stats
+	N       int
+	stats   Stats
+	inboxes [][]Message
 }
 
 // NewClique creates a clique simulator over n nodes.
-func NewClique(n int) *Clique { return &Clique{N: n} }
+func NewClique(n int) *Clique { return &Clique{N: n, inboxes: make([][]Message, n)} }
 
 // Stats returns the accumulated statistics.
 func (c *Clique) Stats() Stats { return c.stats }
 
-// Run executes the protocol for at most maxRounds rounds, running the
-// nodes of each round in parallel. Message delivery is deterministic:
-// inboxes are sorted by sender.
-func (c *Clique) Run(maxRounds int, handler Handler) {
-	inboxes := make([][]Message, c.N)
-	for round := 0; round < maxRounds; round++ {
-		c.stats.Rounds++
-		next := make([][]Message, c.N)
-		outWords := make([]int, c.N)
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		anyAlive := false
-		aliveMu := sync.Mutex{}
-		for v := 0; v < c.N; v++ {
-			wg.Add(1)
-			go func(v int) {
-				defer wg.Done()
-				alive := handler(v, round, inboxes[v], func(to int, payload []uint64) {
-					if to < 0 || to >= c.N || to == v {
-						return
-					}
-					cp := append([]uint64(nil), payload...)
-					mu.Lock()
-					next[to] = append(next[to], Message{From: v, Payload: cp})
-					outWords[v] += len(cp)
-					if len(cp) > c.stats.MaxMessageWords {
-						c.stats.MaxMessageWords = len(cp)
-					}
-					c.stats.TotalWords += len(cp)
-					mu.Unlock()
-				})
-				if alive {
-					aliveMu.Lock()
-					anyAlive = true
-					aliveMu.Unlock()
+// Step executes one synchronous round, running the nodes in parallel,
+// and reports whether any node is still alive. Message delivery is
+// deterministic: inboxes are sorted by sender.
+func (c *Clique) Step(handler Handler) bool {
+	round := c.stats.Rounds
+	c.stats.Rounds++
+	next := make([][]Message, c.N)
+	outWords := make([]int, c.N)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	anyAlive := false
+	aliveMu := sync.Mutex{}
+	for v := 0; v < c.N; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			alive := handler(v, round, c.inboxes[v], func(to int, payload []uint64) {
+				if to < 0 || to >= c.N || to == v {
+					return
 				}
-			}(v)
-		}
-		wg.Wait()
-		maxOut := 0
-		for _, w := range outWords {
-			if w > maxOut {
-				maxOut = w
+				cp := append([]uint64(nil), payload...)
+				mu.Lock()
+				next[to] = append(next[to], Message{From: v, Payload: cp})
+				outWords[v] += len(cp)
+				if len(cp) > c.stats.MaxMessageWords {
+					c.stats.MaxMessageWords = len(cp)
+				}
+				c.stats.TotalWords += len(cp)
+				mu.Unlock()
+			})
+			if alive {
+				aliveMu.Lock()
+				anyAlive = true
+				aliveMu.Unlock()
 			}
+		}(v)
+	}
+	wg.Wait()
+	maxOut := 0
+	for _, w := range outWords {
+		if w > maxOut {
+			maxOut = w
 		}
-		c.stats.MaxNodeOutWords = append(c.stats.MaxNodeOutWords, maxOut)
-		for v := range next {
-			sort.Slice(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
-		}
-		inboxes = next
-		if !anyAlive {
+	}
+	c.stats.MaxNodeOutWords = append(c.stats.MaxNodeOutWords, maxOut)
+	for v := range next {
+		sort.Slice(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+	}
+	c.inboxes = next
+	return anyAlive
+}
+
+// Run executes the protocol for at most maxRounds rounds, stopping early
+// once every node has halted.
+func (c *Clique) Run(maxRounds int, handler Handler) {
+	for round := 0; round < maxRounds; round++ {
+		if !c.Step(handler) {
 			return
 		}
 	}

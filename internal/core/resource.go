@@ -1,181 +1,38 @@
 package core
 
-// The enforceable resource axes of the paper, as engine inputs. The
-// paper's whole point is that matching quality trades off against
-// explicit resource constraints — passes over the data, adaptive rounds,
-// central space — and SolveWith turns each axis from a post-hoc Stats
-// reading into a budget the engine enforces at pass and round
-// boundaries, returning the best-so-far primal result when one trips.
-// The public repro/match package re-exports these types; they live here
-// because enforcement happens inside the engine's round loop and
-// accountant, not in the facade.
+// The resource-constraint machinery — budgets, trip errors, per-round
+// observer events, cancellation-guarded sources — used to live here,
+// next to the one round loop that existed. It now lives in
+// internal/engine, the shared driver every matching substrate runs
+// under; these aliases keep the engine-facing names this package's
+// callers (and the public repro/match facade) have always used.
 
-import (
-	"context"
-	"errors"
-	"fmt"
+import "repro/internal/engine"
 
-	"repro/internal/graph"
-	"repro/internal/stream"
-)
-
-// Budget bounds the resources one Solve run may consume. The zero value
-// (and any zero field) means "unlimited" on that axis. An ample budget
-// is a strict no-op: enforcement only reads the meters the engine
-// already keeps, so a run that never trips is bit-identical to an
-// unbudgeted run.
-type Budget struct {
-	// Passes bounds the metered passes over the input Source — the same
-	// quantity Stats.Passes reports (per-level initial-solution views
-	// meter their own passes and are charged to the conceptual round,
-	// exactly as in Stats).
-	Passes int `json:"passes,omitempty"`
-	// Rounds bounds the adaptive sampling rounds (Stats.SamplingRounds).
-	Rounds int `json:"rounds,omitempty"`
-	// SpaceWords bounds the SpaceAccountant's high-water mark of central
-	// storage (Stats.PeakWords).
-	SpaceWords int `json:"spaceWords,omitempty"`
-}
-
-// IsZero reports whether no axis is constrained.
-func (b Budget) IsZero() bool { return b.Passes == 0 && b.Rounds == 0 && b.SpaceWords == 0 }
+// Budget bounds the resources one Solve run may consume; see
+// engine.Budget for the axis semantics.
+type Budget = engine.Budget
 
 // BudgetAxis names the resource axis that tripped a budget.
-type BudgetAxis string
+type BudgetAxis = engine.BudgetAxis
 
 // The three resource axes of the paper: data accesses, adaptive rounds,
 // central space.
 const (
-	AxisPasses     BudgetAxis = "passes"
-	AxisRounds     BudgetAxis = "rounds"
-	AxisSpaceWords BudgetAxis = "space-words"
+	AxisPasses     = engine.AxisPasses
+	AxisRounds     = engine.AxisRounds
+	AxisSpaceWords = engine.AxisSpaceWords
 )
 
 // ErrBudgetExceeded is the sentinel all budget trips match via
-// errors.Is. The concrete error is always a *BudgetError carrying the
-// axis and the amounts; the solve's best-so-far result accompanies it.
-var ErrBudgetExceeded = errors.New("resource budget exceeded")
+// errors.Is.
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
 
-// BudgetError reports which budget axis tripped. It matches
-// ErrBudgetExceeded under errors.Is and is extracted with errors.As.
-type BudgetError struct {
-	// Axis is the resource that ran out.
-	Axis BudgetAxis `json:"axis"`
-	// Limit is the configured budget on that axis.
-	Limit int `json:"limit"`
-	// Used is the amount the run needed when it tripped (always > Limit:
-	// for rounds it is the round the loop wanted to start, for passes and
-	// space the metered consumption at the checkpoint).
-	Used int `json:"used"`
-}
+// BudgetError reports which budget axis tripped.
+type BudgetError = engine.BudgetError
 
-// Error implements error.
-func (e *BudgetError) Error() string {
-	return fmt.Sprintf("resource budget exceeded on %s: used %d, limit %d", e.Axis, e.Used, e.Limit)
-}
+// RoundEvent is the per-round notification of an Extensions.Observer.
+type RoundEvent = engine.RoundEvent
 
-// Is matches the ErrBudgetExceeded sentinel.
-func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
-
-// RoundEvent is the per-round notification of an Extensions.Observer:
-// a snapshot of the dual trajectory and the resource meters, emitted
-// once per sampling round, at the start of the round, in round order.
-type RoundEvent struct {
-	// Round is the 1-based sampling round about to run.
-	Round int `json:"round"`
-	// Lambda is the minimum normalized coverage entering the round (the
-	// quantity LambdaTrace recorded).
-	Lambda float64 `json:"lambda"`
-	// Beta is the primal target entering the round (BetaTrace).
-	Beta float64 `json:"beta"`
-	// Passes is the metered passes consumed so far.
-	Passes int `json:"passes"`
-	// PeakWords is the central-storage high-water mark so far.
-	PeakWords int `json:"peakWords"`
-}
-
-// Extensions carries the optional engine hooks of a SolveWith run:
-// nothing in it changes the computed Result — budgets only cut a run
-// short and the observer only watches.
-type Extensions struct {
-	// Budget bounds the run's resources; zero axes are unlimited.
-	Budget Budget
-	// Observer, when non-nil, receives one RoundEvent per sampling round.
-	// It is called synchronously from the solve goroutine and must not
-	// block.
-	Observer func(RoundEvent)
-}
-
-// ctxCheckEvery is how many edges a guarded sweep delivers between
-// context checks. Small enough that cancellation mid-pass is prompt even
-// when every edge is slow, large enough that the check never shows up in
-// a profile.
-const ctxCheckEvery = 256
-
-// ctxSource wraps a Source so sequential sweeps abort promptly once ctx
-// is cancelled: the callback chain checks ctx.Err() every ctxCheckEvery
-// edges (including before the first) and ends the pass via the normal
-// early-abort path, so pass metering is untouched. Derived views built
-// on top of the wrapper (the per-level Filtered streams) inherit the
-// guard through Sweep. Parallel sweeps delegate unguarded — the engine
-// only reaches them through code paths it bounds itself — and the pass
-// counter is the inner source's, so a run that is never cancelled is
-// bit-identical to an unwrapped one.
-type ctxSource struct {
-	inner stream.Source
-	ctx   context.Context
-}
-
-var _ stream.Source = (*ctxSource)(nil)
-
-func newCtxSource(ctx context.Context, src stream.Source) *ctxSource {
-	return &ctxSource{inner: src, ctx: ctx}
-}
-
-// N returns the number of vertices.
-func (s *ctxSource) N() int { return s.inner.N() }
-
-// B returns the capacity of vertex v.
-func (s *ctxSource) B(v int) int { return s.inner.B(v) }
-
-// TotalB returns Σ b_i.
-func (s *ctxSource) TotalB() int { return s.inner.TotalB() }
-
-// Len returns the stream length m.
-func (s *ctxSource) Len() int { return s.inner.Len() }
-
-// Passes returns the inner source's metered pass count.
-func (s *ctxSource) Passes() int { return s.inner.Passes() }
-
-// guard wraps a sweep callback with the periodic context check.
-func (s *ctxSource) guard(f func(idx int, e graph.Edge) bool) func(idx int, e graph.Edge) bool {
-	count := 0
-	cancelled := false
-	return func(idx int, e graph.Edge) bool {
-		if cancelled {
-			return false
-		}
-		if count%ctxCheckEvery == 0 && s.ctx.Err() != nil {
-			cancelled = true
-			return false
-		}
-		count++
-		return f(idx, e)
-	}
-}
-
-// ForEach performs one guarded metered pass.
-func (s *ctxSource) ForEach(f func(idx int, e graph.Edge) bool) { s.inner.ForEach(s.guard(f)) }
-
-// Sweep is the guarded un-metered sweep.
-func (s *ctxSource) Sweep(f func(idx int, e graph.Edge) bool) { s.inner.Sweep(s.guard(f)) }
-
-// ForEachParallel delegates to the inner source (see the type comment).
-func (s *ctxSource) ForEachParallel(workers int, f func(idx int, e graph.Edge)) {
-	s.inner.ForEachParallel(workers, f)
-}
-
-// SweepParallel delegates to the inner source (see the type comment).
-func (s *ctxSource) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
-	s.inner.SweepParallel(workers, f)
-}
+// Extensions carries the optional engine hooks of a SolveWith run.
+type Extensions = engine.Extensions

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/levels"
 	"repro/internal/matching"
@@ -131,445 +132,479 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 }
 
 // SolveWith is the engine entry point behind the public repro/match
-// facade: Solve plus the optional resource extensions. The context is
-// honored at pass and round boundaries — sequential sweeps abort within
-// ctxCheckEvery edges of cancellation on every backend, and the engine
-// returns ctx.Err() at the next checkpoint. Budget axes are enforced at
-// the same checkpoints; a trip returns the best-so-far primal result
-// together with a *BudgetError (errors.Is-matchable against
-// ErrBudgetExceeded) naming the axis. The returned *Result is non-nil
-// whenever the options validate: on cancellation or a budget trip its
-// Matching is the best found so far (feasibility is invariant — the
-// matching only ever grows by whole offline solutions) and its Stats
-// meter what was actually consumed. With an ample budget, a nil
-// observer, and an uncancelled context, SolveWith is bit-identical to
-// Solve: enforcement only reads meters the engine already keeps.
+// facade: Solve plus the optional resource extensions. The dual-primal
+// solver is an engine.Algorithm — the first one — and SolveWith is a
+// thin adapter that runs it under engine.Drive, the shared round-loop
+// driver that owns cancellation, budgets and observer events. The
+// context is honored at pass and round boundaries — sequential sweeps
+// abort within a constant number of edges of cancellation on every
+// backend, and the engine returns ctx.Err() at the next checkpoint.
+// Budget axes are enforced at the same checkpoints; a trip returns the
+// best-so-far primal result together with a *BudgetError
+// (errors.Is-matchable against ErrBudgetExceeded) naming the axis. The
+// returned *Result is non-nil whenever the options validate: on
+// cancellation or a budget trip its Matching is the best found so far
+// (feasibility is invariant — the matching only ever grows by whole
+// offline solutions) and its Stats meter what was actually consumed.
+// With an ample budget, a nil observer, and an uncancelled context,
+// SolveWith is bit-identical to Solve: enforcement only reads meters the
+// engine already keeps.
 func SolveWith(ctx context.Context, src stream.Source, opt Options, ext Extensions) (*Result, error) {
+	alg, err := newDualPrimal(opt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := engine.Drive(ctx, alg, src, ext)
+	res := alg.res
+	res.Matching = out.Matching
+	res.Weight = out.Weight
+	res.DualObjective = out.DualObjective
+	res.Lambda = out.Lambda
+	res.Stats.SamplingRounds = out.Rounds
+	res.Stats.Passes = out.Passes
+	res.Stats.PeakWords = out.PeakWords
+	res.Stats.EarlyStopped = out.EarlyStopped
+	return res, err
+}
+
+// dualPrimal is the paper's dual-primal solver (Algorithms 2/4) as an
+// engine.Algorithm: Init runs the pre-loop passes (W* scan, level
+// census, Lemma 20/21 initial solution, first λ evaluation) and Round is
+// one sampling round — t deferred sparsifiers in a fused chunked pass,
+// the offline solve on the sampled union, the sequential refine-and-use
+// oracle loop, the λ re-evaluation. The engine.Run owns the accountant,
+// pass meter, round counter, budgets and observer; this struct owns the
+// dual state and everything derived from the instance.
+type dualPrimal struct {
+	opt  Options
+	prof Profile
+	res  *Result
+
+	// Instance-derived state, set by Init.
+	src        stream.Source
+	eps        float64
+	n, nl      int
+	scheme     *levels.Scheme
+	state      *dualState
+	rng        *xrand.RNG
+	workers    int
+	maxNorm    int
+	gammaChi   float64
+	tUses      int
+	maxRounds  int
+	target     float64
+	mKept      float64
+	liveLevels []int
+	levelCount []int
+
+	// The (use, level) job grid of one sampling round, fixed across
+	// rounds: job (q, slot) owns the deferred construction for use q at
+	// level liveLevels[slot].
+	jobs        []defJob
+	chunk       []chunkEdge
+	levelCursor []int
+	slotOf      []int
+	// Per-slot index lists into the chunk, rebuilt per dispatch (backing
+	// arrays reused): each (use, level) job walks only its own level's
+	// edges rather than rescanning the whole chunk.
+	bySlot [][]int32
+
+	// Trajectory and best-so-far primal state.
+	lambda       float64
+	beta         float64
+	bestHat      float64
+	bestWeight   float64
+	best         *matching.Matching
+	earlyStopped bool
+}
+
+type defJob struct{ q, slot, k int }
+
+// newDualPrimal validates the options and builds a fresh solver
+// instance for one run.
+func newDualPrimal(opt Options) (*dualPrimal, error) {
 	if !(opt.Eps > 0) || opt.Eps >= 0.5 {
 		return nil, errors.New("core: Eps must be in (0, 0.5)")
 	}
 	if !(opt.P > 1) {
 		return nil, errors.New("core: P must be > 1")
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	prof := Practical(opt.Eps)
 	if opt.Profile != nil {
 		prof = *opt.Profile
 	}
-	res := &Result{Matching: &matching.Matching{}}
-	if src.Len() == 0 {
-		return res, nil
-	}
-	if ctx.Done() != nil {
-		// Only a cancellable context needs the guarded sweeps; plain
-		// Solve keeps the unwrapped source (identical code path).
-		src = newCtxSource(ctx, src)
-	}
-	eps := opt.Eps
-	n := src.N()
-	passes0 := src.Passes()
-	acct := stream.NewSpaceAccountant()
-	budget := ext.Budget
+	return &dualPrimal{opt: opt, prof: prof, res: &Result{}}, nil
+}
 
-	// The pieces the abort path needs are declared up front: a checkpoint
-	// can fire before the dual state exists.
-	var (
-		scheme     *levels.Scheme
-		state      *dualState
-		nl         int
-		lambda     float64
-		bestWeight float64
-	)
-	bOf := func(v int) int { return src.B(v) }
+// bOf adapts the source's capacities to the dual-state callbacks.
+func (a *dualPrimal) bOf(v int) int { return a.src.B(v) }
 
-	// finalize fills the Result's meters and dual fields — the one block
-	// shared by the normal exit and every abort, so completed and
-	// tripped/cancelled runs can never diverge on a field.
-	finalize := func() {
-		res.Lambda = lambda
-		res.Weight = bestWeight
-		res.Stats.Passes = src.Passes() - passes0
-		res.Stats.PeakWords = acct.Peak()
-		if state != nil {
-			res.Stats.DualStateWords = n*nl + 4*len(state.zsets)
-			res.DualObjective = scheme.Unscale(state.Objective(bOf))
-		}
-	}
-
-	// abort finalizes the best-so-far Result for a cancelled,
-	// budget-tripped, or otherwise interrupted run. A budget trip fires
-	// only at pass/round boundaries, so its λ is the last completely
-	// evaluated one (0 if it tripped before any λ pass ran) and the
-	// certificate, when positive, stands. A cancellation can interrupt a
-	// λ pass mid-flight, leaving a prefix-minimum that is >= the true λ —
-	// an unsound certificate — so non-budget aborts surrender it: Lambda
-	// is zeroed (CertifiedUpperBound then reports +Inf) and only the
-	// primal Matching is the contract.
-	abort := func(err error) (*Result, error) {
-		var be *BudgetError
-		if !errors.As(err, &be) {
-			lambda = 0
-		}
-		finalize()
-		return res, err
-	}
-
-	// check is the pass/round-boundary checkpoint: context first, then
-	// the pass and space budgets against the live meters. (The rounds
-	// budget is enforced at the top of the round loop, where "one more
-	// round" is decided.) All reads, no writes — an un-tripped run is
-	// bit-identical to an unbudgeted one.
-	check := func() error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if budget.Passes > 0 {
-			if used := src.Passes() - passes0; used > budget.Passes {
-				return &BudgetError{Axis: AxisPasses, Limit: budget.Passes, Used: used}
-			}
-		}
-		if budget.SpaceWords > 0 {
-			if peak := acct.Peak(); peak > budget.SpaceWords {
-				return &BudgetError{Axis: AxisSpaceWords, Limit: budget.SpaceWords, Used: peak}
-			}
-		}
-		return nil
-	}
+// Init runs everything before the sampling loop. Checkpoints sit after
+// every metered pass: a cancelled W* scan yields a garbage W* (typically
+// 0), which must surface as ctx.Err() with the best-so-far result, not
+// as a scheme-validation error.
+func (a *dualPrimal) Init(_ context.Context, run *engine.Run, src stream.Source) error {
+	a.src = src
+	a.eps = a.opt.Eps
+	a.n = src.N()
 
 	// Pass: W* scan — the only instance statistic the discretization
-	// needs that is not known a priori. The checkpoint sits between the
-	// scan and the scheme construction: a cancelled scan yields a garbage
-	// W* (typically 0), which must surface as ctx.Err() with the
-	// best-so-far result, not as a scheme-validation error.
+	// needs that is not known a priori.
 	wstar := stream.MaxWeight(src)
-	if err := check(); err != nil {
-		return abort(err)
+	if err := run.Check(); err != nil {
+		return err
 	}
-	var err error
-	scheme, err = levels.NewScheme(eps, wstar, src.TotalB())
+	scheme, err := levels.NewScheme(a.eps, wstar, src.TotalB())
 	if err != nil {
 		// A degenerate instance (e.g. a custom backend serving only
 		// zero-weight edges), not bad options: the documented non-nil
 		// Result contract still holds, with the meters filled in.
-		return abort(err)
+		return err
 	}
-	rng := xrand.New(opt.Seed)
-	workers := parallel.Workers(opt.Workers)
-	wHat := scheme.WHat
-	nl = scheme.NumLevels()
-	maxNorm := int(math.Ceil(4 / eps))
-	if prof.OddSetNormCap > 0 && maxNorm > prof.OddSetNormCap {
-		maxNorm = prof.OddSetNormCap
+	a.scheme = scheme
+	a.rng = xrand.New(a.opt.Seed)
+	a.workers = parallel.Workers(a.opt.Workers)
+	a.nl = scheme.NumLevels()
+	a.maxNorm = int(math.Ceil(4 / a.eps))
+	if a.prof.OddSetNormCap > 0 && a.maxNorm > a.prof.OddSetNormCap {
+		a.maxNorm = a.prof.OddSetNormCap
 	}
-	if maxNorm < 3 {
-		maxNorm = 3
+	if a.maxNorm < 3 {
+		a.maxNorm = 3
 	}
 
 	// Pass: level census — how many edges live at each weight level. The
 	// populated levels define the per-level streams of the initial
 	// solution and the (use, level) sparsifier grid; the counts fix each
 	// construction's subsampling depth.
-	levelCount := make([]int, nl)
+	a.levelCount = make([]int, a.nl)
 	src.ForEach(func(_ int, e graph.Edge) bool {
 		if k, ok := scheme.Level(e.W); ok {
-			levelCount[k]++
+			a.levelCount[k]++
 		}
 		return true
 	})
-	liveLevels := make([]int, 0, nl)
-	for k, cnt := range levelCount {
+	a.liveLevels = a.liveLevels[:0]
+	for k, cnt := range a.levelCount {
 		if cnt > 0 {
-			liveLevels = append(liveLevels, k)
+			a.liveLevels = append(a.liveLevels, k)
 		}
 	}
-	if err := check(); err != nil {
-		return abort(err)
+	if err := run.Check(); err != nil {
+		return err
 	}
 
 	// ---- Initial solution (Lemmas 12, 20, 21) ----
-	state = newDualState(scheme, n, prof.ZPruneRel)
-	initRounds := buildInitialSolution(src, liveLevels, scheme, prof, eps, opt.P, rng.Split(1), acct, state, workers)
-	res.Stats.InitRounds = initRounds
-	if err := check(); err != nil {
-		return abort(err)
+	a.state = newDualState(scheme, a.n, a.prof.ZPruneRel)
+	initRounds := buildInitialSolution(src, a.liveLevels, scheme, a.prof, a.eps, a.opt.P,
+		a.rng.Split(1), run.Acct, a.state, a.workers)
+	a.res.Stats.InitRounds = initRounds
+	if err := run.Check(); err != nil {
+		return err
 	}
 
-	// ---- Outer loop (Algorithms 2/4) ----
-	gammaChi := math.Pow(float64(n), 1/(2*opt.P))
-	if gammaChi < 2 {
-		gammaChi = 2
+	// ---- Outer loop parameters (Algorithms 2/4) ----
+	a.gammaChi = math.Pow(float64(a.n), 1/(2*a.opt.P))
+	if a.gammaChi < 2 {
+		a.gammaChi = 2
 	}
-	if prof.ChiOverride > 0 {
-		gammaChi = prof.ChiOverride
+	if a.prof.ChiOverride > 0 {
+		a.gammaChi = a.prof.ChiOverride
 	}
-	tUses := int(math.Ceil(prof.UsesPerRoundScale * math.Log(gammaChi) / eps))
-	if tUses < 1 {
-		tUses = 1
+	a.tUses = int(math.Ceil(a.prof.UsesPerRoundScale * math.Log(a.gammaChi) / a.eps))
+	if a.tUses < 1 {
+		a.tUses = 1
 	}
-	maxRounds := opt.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = int(math.Ceil(prof.MaxRoundsScale*3*opt.P/eps)) + 1
+	a.maxRounds = a.opt.MaxRounds
+	if a.maxRounds == 0 {
+		a.maxRounds = int(math.Ceil(a.prof.MaxRoundsScale*3*a.opt.P/a.eps)) + 1
 	}
-	lambda = lambdaOf(src, scheme, state) // pass: initial λ evaluation
-	if err := check(); err != nil {
-		return abort(err)
+	a.lambda = lambdaOf(src, scheme, a.state) // pass: initial λ evaluation
+	if err := run.Check(); err != nil {
+		return err
 	}
-	beta := state.Objective(bOf)
-	if beta <= 0 {
-		beta = 1e-12
+	a.beta = a.state.Objective(a.bOf)
+	if a.beta <= 0 {
+		a.beta = 1e-12
 	}
-	target := 1 - 3*eps
-	mKept := float64(src.Len())
+	a.target = 1 - 3*a.eps
+	a.mKept = float64(src.Len())
 
-	// The (use, level) job grid of one sampling round, fixed across
-	// rounds: job (q, slot) owns the deferred construction for use q at
-	// level liveLevels[slot].
-	type defJob struct{ q, slot, k int }
-	var jobs []defJob
-	for q := 0; q < tUses; q++ {
-		for slot, k := range liveLevels {
-			jobs = append(jobs, defJob{q: q, slot: slot, k: k})
+	a.jobs = a.jobs[:0]
+	for q := 0; q < a.tUses; q++ {
+		for slot, k := range a.liveLevels {
+			a.jobs = append(a.jobs, defJob{q: q, slot: slot, k: k})
 		}
 	}
-	chunk := make([]chunkEdge, 0, solveChunkEdges)
-	levelCursor := make([]int, nl)
-	slotOf := make([]int, nl)
-	for slot, k := range liveLevels {
-		slotOf[k] = slot
+	a.chunk = make([]chunkEdge, 0, solveChunkEdges)
+	a.levelCursor = make([]int, a.nl)
+	a.slotOf = make([]int, a.nl)
+	for slot, k := range a.liveLevels {
+		a.slotOf[k] = slot
 	}
-	// Per-slot index lists into the chunk, rebuilt per dispatch (backing
-	// arrays reused): each (use, level) job walks only its own level's
-	// edges rather than rescanning the whole chunk.
-	bySlot := make([][]int32, len(liveLevels))
+	a.bySlot = make([][]int32, len(a.liveLevels))
+	return nil
+}
 
-	bestHat := 0.0
-	// For ε >= 1/3 the certificate target 1-3ε is non-positive and any
-	// dual point satisfies it; still run at least one sampling round so a
-	// matching is produced.
-	for round := 0; round < maxRounds && (round == 0 || lambda < target); round++ {
-		// The rounds budget trips exactly when the loop wants a round it
-		// is not allowed: a run that converges within budget never trips.
-		if budget.Rounds > 0 && round >= budget.Rounds {
-			return abort(&BudgetError{Axis: AxisRounds, Limit: budget.Rounds, Used: round + 1})
-		}
-		acct.BeginRound()
-		res.Stats.SamplingRounds++
-		res.Stats.LambdaTrace = append(res.Stats.LambdaTrace, lambda)
-		res.Stats.BetaTrace = append(res.Stats.BetaTrace, beta)
-		if ext.Observer != nil {
-			ext.Observer(RoundEvent{Round: round + 1, Lambda: lambda, Beta: beta,
-				Passes: src.Passes() - passes0, PeakWords: acct.Peak()})
-		}
+// Round runs one sampling round, or reports convergence. For ε >= 1/3
+// the certificate target 1-3ε is non-positive and any dual point
+// satisfies it; still run at least one sampling round so a matching is
+// produced.
+func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
+	round := run.Rounds() // 0-based index of the round about to run
+	if round >= a.maxRounds || (round > 0 && a.lambda >= a.target) {
+		a.earlyStopped = a.lambda >= a.target
+		return true, nil
+	}
+	run.Lambda, run.Beta = a.lambda, a.beta
+	// The rounds budget trips inside BeginRound exactly when the loop
+	// wants a round it is not allowed: a run that converges within
+	// budget never trips.
+	if err := run.BeginRound(); err != nil {
+		return false, err
+	}
+	acct := run.Acct
+	src := a.src
+	scheme, state := a.scheme, a.state
+	eps, wHat := a.eps, scheme.WHat
+	a.res.Stats.LambdaTrace = append(a.res.Stats.LambdaTrace, a.lambda)
+	a.res.Stats.BetaTrace = append(a.res.Stats.BetaTrace, a.beta)
 
-		// Outer covering parameters for this phase (Theorem 5 via
-		// Corollary 6): α from the current λ, σ = ε/(4αρo).
-		alpha := 2 * math.Log(mKept/eps) / (math.Max(lambda, 1e-9) * eps)
-		boost := prof.SigmaBoost
-		if boost <= 0 {
-			boost = 1
-		}
-		sigma := eps / (4 * alpha * prof.OuterRho) * boost
-		if sigma > 0.5 {
-			sigma = 0.5
-		}
+	// Outer covering parameters for this phase (Theorem 5 via
+	// Corollary 6): α from the current λ, σ = ε/(4αρo).
+	alpha := 2 * math.Log(a.mKept/eps) / (math.Max(a.lambda, 1e-9) * eps)
+	boost := a.prof.SigmaBoost
+	if boost <= 0 {
+		boost = 1
+	}
+	sigma := eps / (4 * alpha * a.prof.OuterRho) * boost
+	if sigma > 0.5 {
+		sigma = 0.5
+	}
 
-		// Sample t deferred sparsifiers, per weight level (Lemma 11: the
-		// union of per-class sparsifiers is the sparsifier we need), in
-		// ONE fused chunked pass over the source: each staged chunk gets
-		// its promise multipliers ς_e = exp(-α(cov_e/ŵ_k - λ))/ŵ_k
-		// evaluated in parallel shards (the broadcast read-only dual
-		// state, exactly as the distributed mappers would), then streams
-		// into every (use, level) construction. The (use, level) pairs
-		// are independent given their seeds, so the seeds are split
-		// sequentially up front — in the exact order the sequential loop
-		// would draw them — and the constructions consume the chunk
-		// concurrently, each slotted at its (q, level) position. Nothing
-		// of size m is ever materialized: the staging chunk is constant,
-		// the constructions hold only their samples.
-		batches := make([][]*sparsify.DeferredBuilder, tUses)
-		for q := 0; q < tUses; q++ {
-			batches[q] = make([]*sparsify.DeferredBuilder, len(liveLevels))
-			for slot, k := range liveLevels {
-				b, berr := sparsify.NewDeferredBuilder(n, levelCount[k], gammaChi, sparsify.Config{
-					Xi:   prof.SparsifierXi,
-					K:    prof.SparsifierK,
-					Seed: rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
-				})
-				if berr != nil {
-					return nil, berr
-				}
-				batches[q][slot] = b
-			}
-		}
-		dispatch := func(buf []chunkEdge) {
-			if len(buf) == 0 {
-				return
-			}
-			parallel.ForEachShard(workers, len(buf), func(_ int, sh parallel.Range) {
-				for i := sh.Lo; i < sh.Hi; i++ {
-					ce := &buf[i]
-					r := state.CoverageRatio(ce.u, ce.v, int(ce.k))
-					ce.sigma = math.Exp(-alpha*(r-lambda)) / wHat(int(ce.k))
-				}
+	// Sample t deferred sparsifiers, per weight level (Lemma 11: the
+	// union of per-class sparsifiers is the sparsifier we need), in
+	// ONE fused chunked pass over the source: each staged chunk gets
+	// its promise multipliers ς_e = exp(-α(cov_e/ŵ_k - λ))/ŵ_k
+	// evaluated in parallel shards (the broadcast read-only dual
+	// state, exactly as the distributed mappers would), then streams
+	// into every (use, level) construction. The (use, level) pairs
+	// are independent given their seeds, so the seeds are split
+	// sequentially up front — in the exact order the sequential loop
+	// would draw them — and the constructions consume the chunk
+	// concurrently, each slotted at its (q, level) position. Nothing
+	// of size m is ever materialized: the staging chunk is constant,
+	// the constructions hold only their samples.
+	batches := make([][]*sparsify.DeferredBuilder, a.tUses)
+	for q := 0; q < a.tUses; q++ {
+		batches[q] = make([]*sparsify.DeferredBuilder, len(a.liveLevels))
+		for slot, k := range a.liveLevels {
+			b, berr := sparsify.NewDeferredBuilder(a.n, a.levelCount[k], a.gammaChi, sparsify.Config{
+				Xi:   a.prof.SparsifierXi,
+				K:    a.prof.SparsifierK,
+				Seed: a.rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
 			})
-			for slot := range bySlot {
-				bySlot[slot] = bySlot[slot][:0]
+			if berr != nil {
+				return false, berr
 			}
-			for i := range buf {
-				slot := slotOf[buf[i].k]
-				bySlot[slot] = append(bySlot[slot], int32(i))
-			}
-			parallel.Run(workers, len(jobs), func(ji int) {
-				job := jobs[ji]
-				b := batches[job.q][job.slot]
-				for _, i := range bySlot[job.slot] {
-					ce := &buf[i]
-					b.Add(ce.local, ce.u, ce.v, ce.w, ce.orig, ce.sigma)
-				}
-			})
+			batches[q][slot] = b
 		}
-		for k := range levelCursor {
-			levelCursor[k] = 0
+	}
+	dispatch := func(buf []chunkEdge) {
+		if len(buf) == 0 {
+			return
 		}
-		acct.Alloc(solveChunkEdges) // the staging buffer is central storage
-		src.ForEach(func(idx int, e graph.Edge) bool {
-			k, ok := scheme.Level(e.W)
-			if !ok {
-				return true
+		parallel.ForEachShard(a.workers, len(buf), func(_ int, sh parallel.Range) {
+			for i := sh.Lo; i < sh.Hi; i++ {
+				ce := &buf[i]
+				r := state.CoverageRatio(ce.u, ce.v, int(ce.k))
+				ce.sigma = math.Exp(-alpha*(r-a.lambda)) / wHat(int(ce.k))
 			}
-			chunk = append(chunk, chunkEdge{
-				u: e.U, v: e.V, k: int32(k),
-				orig: idx, local: levelCursor[k], w: e.W,
-			})
-			levelCursor[k]++
-			if len(chunk) == solveChunkEdges {
-				dispatch(chunk)
-				chunk = chunk[:0]
+		})
+		for slot := range a.bySlot {
+			a.bySlot[slot] = a.bySlot[slot][:0]
+		}
+		for i := range buf {
+			slot := a.slotOf[buf[i].k]
+			a.bySlot[slot] = append(a.bySlot[slot], int32(i))
+		}
+		parallel.Run(a.workers, len(a.jobs), func(ji int) {
+			job := a.jobs[ji]
+			b := batches[job.q][job.slot]
+			for _, i := range a.bySlot[job.slot] {
+				ce := &buf[i]
+				b.Add(ce.local, ce.u, ce.v, ce.w, ce.orig, ce.sigma)
 			}
+		})
+	}
+	for k := range a.levelCursor {
+		a.levelCursor[k] = 0
+	}
+	acct.Alloc(solveChunkEdges) // the staging buffer is central storage
+	src.ForEach(func(idx int, e graph.Edge) bool {
+		k, ok := scheme.Level(e.W)
+		if !ok {
 			return true
+		}
+		a.chunk = append(a.chunk, chunkEdge{
+			u: e.U, v: e.V, k: int32(k),
+			orig: idx, local: a.levelCursor[k], w: e.W,
 		})
-		if err := check(); err != nil {
-			return abort(err)
+		a.levelCursor[k]++
+		if len(a.chunk) == solveChunkEdges {
+			dispatch(a.chunk)
+			a.chunk = a.chunk[:0]
 		}
-		dispatch(chunk)
-		chunk = chunk[:0]
-		acct.Free(solveChunkEdges)
-		// Seal the constructions (the criticalLevel scans fan out over
-		// the job grid and merge in job order).
-		flat := parallel.Map(workers, len(jobs), func(ji int) *sparsify.Deferred {
-			return batches[jobs[ji].q][jobs[ji].slot].Finish()
-		})
-		defs := make([][]*sparsify.Deferred, tUses)
-		sampledTotal := 0
-		for ji, d := range flat {
-			if defs[jobs[ji].q] == nil {
-				defs[jobs[ji].q] = make([]*sparsify.Deferred, len(liveLevels))
-			}
-			defs[jobs[ji].q][jobs[ji].slot] = d
-			sampledTotal += d.Size()
+		return true
+	})
+	if err := run.Check(); err != nil {
+		return false, err
+	}
+	dispatch(a.chunk)
+	a.chunk = a.chunk[:0]
+	acct.Free(solveChunkEdges)
+	// Seal the constructions (the criticalLevel scans fan out over
+	// the job grid and merge in job order).
+	flat := parallel.Map(a.workers, len(a.jobs), func(ji int) *sparsify.Deferred {
+		return batches[a.jobs[ji].q][a.jobs[ji].slot].Finish()
+	})
+	defs := make([][]*sparsify.Deferred, a.tUses)
+	sampledTotal := 0
+	for ji, d := range flat {
+		if defs[a.jobs[ji].q] == nil {
+			defs[a.jobs[ji].q] = make([]*sparsify.Deferred, len(a.liveLevels))
 		}
-		acct.Alloc(sampledTotal)
-		if cur := acct.Current(); cur > res.Stats.PeakSampleEdges {
-			res.Stats.PeakSampleEdges = cur
-		}
-		if err := check(); err != nil {
-			return abort(err)
-		}
+		defs[a.jobs[ji].q][a.jobs[ji].slot] = d
+		sampledTotal += d.Size()
+	}
+	acct.Alloc(sampledTotal)
+	if cur := acct.Current(); cur > a.res.Stats.PeakSampleEdges {
+		a.res.Stats.PeakSampleEdges = cur
+	}
+	if err := run.Check(); err != nil {
+		return false, err
+	}
 
-		// Offline solve on the union of sampled edges (Algorithm 2 step
-		// 5); raise β on improvement (step 6). The stored Items carry
-		// endpoints and original weights, so the union subgraph is built
-		// from the samples alone — no lookback into the source.
-		union := map[int]graph.Edge{}
-		for q := range defs {
-			for _, d := range defs[q] {
-				for _, it := range d.Items() {
-					union[it.Orig] = graph.Edge{U: it.U, V: it.V, W: it.W}
-				}
+	// Offline solve on the union of sampled edges (Algorithm 2 step
+	// 5); raise β on improvement (step 6). The stored Items carry
+	// endpoints and original weights, so the union subgraph is built
+	// from the samples alone — no lookback into the source.
+	union := map[int]graph.Edge{}
+	for q := range defs {
+		for _, d := range defs[q] {
+			for _, it := range d.Items() {
+				union[it.Orig] = graph.Edge{U: it.U, V: it.V, W: it.W}
 			}
 		}
-		unionIdx := make([]int, 0, len(union))
-		for idx := range union {
-			unionIdx = append(unionIdx, idx)
+	}
+	unionIdx := make([]int, 0, len(union))
+	for idx := range union {
+		unionIdx = append(unionIdx, idx)
+	}
+	sort.Ints(unionIdx)
+	a.res.Stats.UnionSizes = append(a.res.Stats.UnionSizes, len(unionIdx))
+	sub := graph.New(a.n)
+	for v := 0; v < a.n; v++ {
+		if b := src.B(v); b != 1 {
+			sub.SetB(v, b)
 		}
-		sort.Ints(unionIdx)
-		res.Stats.UnionSizes = append(res.Stats.UnionSizes, len(unionIdx))
-		sub := graph.New(n)
-		for v := 0; v < n; v++ {
-			if b := src.B(v); b != 1 {
-				sub.SetB(v, b)
-			}
+	}
+	for _, idx := range unionIdx {
+		e := union[idx]
+		sub.MustAddEdge(int(e.U), int(e.V), e.W)
+	}
+	cand, _ := matching.OfflineB(sub, matching.OfflineConfig{ExactLimit: a.prof.OfflineExactLimit})
+	candHat := 0.0
+	for ci, si := range cand.EdgeIdx {
+		mult := 1
+		if cand.Mult != nil {
+			mult = cand.Mult[ci]
 		}
-		for _, idx := range unionIdx {
-			e := union[idx]
-			sub.MustAddEdge(int(e.U), int(e.V), e.W)
+		if hk, ok := scheme.Level(sub.Edge(si).W); ok {
+			candHat += wHat(hk) * float64(mult)
 		}
-		cand, _ := matching.OfflineB(sub, matching.OfflineConfig{ExactLimit: prof.OfflineExactLimit})
-		candHat := 0.0
+	}
+	if candHat > a.bestHat*(1+eps/8) || (a.best == nil || a.best.Size() == 0) && candHat > 0 {
+		a.res.Stats.RoundOfBestMatching = round + 1
+	}
+	if candHat > a.bestHat {
+		a.bestHat = candHat
+		// Remap subgraph edge indices back to source indices.
+		remap := &matching.Matching{Mult: []int{}}
+		w := 0.0
 		for ci, si := range cand.EdgeIdx {
+			remap.EdgeIdx = append(remap.EdgeIdx, unionIdx[si])
 			mult := 1
 			if cand.Mult != nil {
 				mult = cand.Mult[ci]
 			}
-			if hk, ok := scheme.Level(sub.Edge(si).W); ok {
-				candHat += wHat(hk) * float64(mult)
-			}
+			remap.Mult = append(remap.Mult, mult)
+			w += sub.Edge(si).W * float64(mult)
 		}
-		if candHat > bestHat*(1+eps/8) || res.Matching.Size() == 0 && candHat > 0 {
-			res.Stats.RoundOfBestMatching = round + 1
-		}
-		if candHat > bestHat {
-			bestHat = candHat
-			// Remap subgraph edge indices back to source indices.
-			remap := &matching.Matching{Mult: []int{}}
-			w := 0.0
-			for ci, si := range cand.EdgeIdx {
-				remap.EdgeIdx = append(remap.EdgeIdx, unionIdx[si])
-				mult := 1
-				if cand.Mult != nil {
-					mult = cand.Mult[ci]
-				}
-				remap.Mult = append(remap.Mult, mult)
-				w += sub.Edge(si).W * float64(mult)
-			}
-			res.Matching = remap
-			bestWeight = w
-		}
-		if candHat > beta {
-			beta = candHat * (1 + eps)
-		}
+		a.best = remap
+		a.bestWeight = w
+	}
+	if candHat > a.beta {
+		a.beta = candHat * (1 + eps)
+	}
 
-		// Sequential refinement and use of the t sparsifiers (the right
-		// half of Figure 1: no further input access).
-		for q := 0; q < tUses; q++ {
-			support := refineBatch(defs[q], liveLevels, scheme, state, alpha, lambda, prof.StaleRefinement, workers)
-			res.Stats.OracleUses++
-			mini := runMiniOracle(support, beta, eps, prof, bOf, wHat, nl, maxNorm)
-			res.Stats.MicroCalls += mini.microCalls
-			res.Stats.PackIters += mini.packIters
-			if mini.matchingWitness {
-				res.Stats.WitnessEvents++
-				beta *= 1 + eps
-				continue
-			}
-			if !mini.answer.isZero() {
-				state.Average(sigma, &mini.answer)
-			}
+	// Sequential refinement and use of the t sparsifiers (the right
+	// half of Figure 1: no further input access).
+	for q := 0; q < a.tUses; q++ {
+		support := refineBatch(defs[q], a.liveLevels, scheme, state, alpha, a.lambda, a.prof.StaleRefinement, a.workers)
+		a.res.Stats.OracleUses++
+		mini := runMiniOracle(support, a.beta, eps, a.prof, a.bOf, wHat, a.nl, a.maxNorm)
+		a.res.Stats.MicroCalls += mini.microCalls
+		a.res.Stats.PackIters += mini.packIters
+		if mini.matchingWitness {
+			a.res.Stats.WitnessEvents++
+			a.beta *= 1 + eps
+			continue
 		}
-		acct.Free(sampledTotal)
-
-		lambda = lambdaOf(src, scheme, state) // pass: λ re-evaluation
-		if err := check(); err != nil {
-			return abort(err)
+		if !mini.answer.isZero() {
+			state.Average(sigma, &mini.answer)
 		}
 	}
-	if lambda >= target {
-		res.Stats.EarlyStopped = true
+	acct.Free(sampledTotal)
+
+	a.lambda = lambdaOf(src, scheme, state) // pass: λ re-evaluation
+	if err := run.Check(); err != nil {
+		return false, err
 	}
-	finalize()
-	return res, nil
+	return false, nil
+}
+
+// Finish reports the best-so-far matching and the dual fields. It is
+// the one block shared by the normal exit and every abort — a checkpoint
+// can fire before the dual state exists, so nil state is legal. A budget
+// trip fires only at pass/round boundaries, so its λ is the last
+// completely evaluated one (0 if it tripped before any λ pass ran) and
+// the certificate, when positive, stands; the driver zeroes λ for
+// non-budget aborts (a cancellation can interrupt a λ pass mid-flight,
+// leaving an unsound prefix-minimum).
+func (a *dualPrimal) Finish(_ *engine.Run) (*matching.Matching, engine.Extras) {
+	ex := engine.Extras{
+		Weight:       a.bestWeight,
+		Lambda:       a.lambda,
+		EarlyStopped: a.earlyStopped,
+	}
+	if a.state != nil {
+		a.res.Stats.DualStateWords = a.n*a.nl + 4*len(a.state.zsets)
+		ex.DualObjective = a.scheme.Unscale(a.state.Objective(a.bOf))
+	}
+	return a.best, ex
+}
+
+func init() {
+	engine.Register(engine.Info{
+		Name:      "dual-primal",
+		Model:     "semi-streaming / MPC / clique (Ahn–Guha)",
+		Guarantee: "(1-O(ε))·OPT weighted b-matching + dual certificate",
+		Resources: "O(n^(1+1/p)) words, O(p/ε) rounds, 3+2·rounds passes",
+	}, func(p engine.Params) (engine.Algorithm, error) {
+		return newDualPrimal(Options{Eps: p.Eps, P: p.P, Seed: p.Seed,
+			Workers: p.Workers, MaxRounds: p.MaxRounds})
+	})
 }
 
 // lambdaOf computes λ = min over the source's kept edges of the

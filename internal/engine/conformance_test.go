@@ -1,0 +1,281 @@
+package engine_test
+
+// The engine conformance suite: every algorithm in the registry — the
+// dual-primal solver and all ported substrates — must honor the shared
+// resource contract. For each registered algorithm it checks that
+//
+//   - an unbudgeted run completes with nonzero pass and peak-words
+//     meters and a feasible matching whose weight matches the reported
+//     one;
+//   - observer events arrive once per round, in strictly increasing
+//     round order, with nondecreasing pass and peak-words meters;
+//   - an ample budget is a strict no-op (bit-identical outcome);
+//   - on every axis the algorithm can actually exhaust, a budget one
+//     notch under the unbudgeted usage trips with
+//     errors.Is(err, ErrBudgetExceeded), names that axis, and still
+//     hands back a feasible best-so-far matching;
+//   - cancelling the context mid-pass aborts within a bounded number of
+//     edge deliveries and surrenders the certificate (Lambda = 0).
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	_ "repro/internal/algos" // register the ported substrates
+	_ "repro/internal/core"  // register the dual-primal solver
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// conformanceParams is the shared configuration every algorithm is
+// driven with.
+var conformanceParams = engine.Params{Eps: 0.25, P: 2, Seed: 7, Workers: 1}
+
+// conformanceGraph is an instance every registered algorithm supports:
+// bipartite (for hopcroft-karp), unit capacities, weighted, dense enough
+// that augmentation and multiple rounds actually happen.
+func conformanceGraph() *graph.Graph {
+	return graph.Bipartite(20, 20, 150, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 10}, 5)
+}
+
+// drive builds a fresh instance of the named algorithm and runs it.
+func drive(t *testing.T, name string, ctx context.Context, src stream.Source, ext engine.Extensions) (*engine.Outcome, error) {
+	t.Helper()
+	_, factory, ok := engine.Lookup(name)
+	if !ok {
+		t.Fatalf("algorithm %q not registered", name)
+	}
+	alg, err := factory(conformanceParams)
+	if err != nil {
+		t.Fatalf("%s: factory: %v", name, err)
+	}
+	return engine.Drive(ctx, alg, src, ext)
+}
+
+func TestConformanceEveryRegisteredAlgorithm(t *testing.T) {
+	infos := engine.List()
+	if len(infos) < 5 {
+		t.Fatalf("registry has %d algorithms, want >= 5: %s", len(infos), engine.Names())
+	}
+	g := conformanceGraph()
+	for _, info := range infos {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			// Unbudgeted baseline, with observer capture.
+			var events []engine.RoundEvent
+			base, err := drive(t, info.Name, context.Background(), stream.NewEdgeStream(g),
+				engine.Extensions{Observer: func(ev engine.RoundEvent) { events = append(events, ev) }})
+			if err != nil {
+				t.Fatalf("unbudgeted run failed: %v", err)
+			}
+			assertOutcome(t, g, base)
+			assertEvents(t, base, events)
+			t.Run("ample-budget-noop", func(t *testing.T) {
+				ample := engine.Budget{Passes: base.Passes*10 + 10,
+					Rounds: base.Rounds*10 + 10, SpaceWords: base.PeakWords*10 + 10}
+				out, err := drive(t, info.Name, context.Background(), stream.NewEdgeStream(g),
+					engine.Extensions{Budget: ample})
+				if err != nil {
+					t.Fatalf("ample budget tripped: %v", err)
+				}
+				assertSameOutcome(t, base, out)
+			})
+			t.Run("budget-trips", func(t *testing.T) {
+				testBudgetTrips(t, g, info.Name, base)
+			})
+			t.Run("cancellation-mid-pass", func(t *testing.T) {
+				testCancellation(t, g, info.Name)
+			})
+		})
+	}
+}
+
+// assertOutcome checks the generic outcome contract: nonzero meters and
+// a feasible matching whose recomputed weight agrees with the report.
+func assertOutcome(t *testing.T, g *graph.Graph, out *engine.Outcome) {
+	t.Helper()
+	if out.Passes <= 0 {
+		t.Errorf("Passes = %d, want > 0 (data access must be metered)", out.Passes)
+	}
+	if out.PeakWords <= 0 {
+		t.Errorf("PeakWords = %d, want > 0 (central state must be metered)", out.PeakWords)
+	}
+	if out.Rounds <= 0 {
+		t.Errorf("Rounds = %d, want > 0", out.Rounds)
+	}
+	if out.Matching == nil {
+		t.Fatal("Matching is nil")
+	}
+	if err := out.Matching.Validate(g); err != nil {
+		t.Fatalf("matching infeasible: %v", err)
+	}
+	if w := out.Matching.Weight(g); math.Abs(w-out.Weight) > 1e-9*(1+math.Abs(w)) {
+		t.Errorf("reported Weight %v != recomputed %v", out.Weight, w)
+	}
+}
+
+// assertEvents checks the observer stream: one event per round, strictly
+// increasing 1-based rounds, monotone resource meters.
+func assertEvents(t *testing.T, out *engine.Outcome, events []engine.RoundEvent) {
+	t.Helper()
+	if len(events) != out.Rounds {
+		t.Fatalf("observer saw %d events, run had %d rounds", len(events), out.Rounds)
+	}
+	for i, ev := range events {
+		if ev.Round != i+1 {
+			t.Errorf("event %d has Round %d, want %d", i, ev.Round, i+1)
+		}
+		if i > 0 {
+			if ev.Passes < events[i-1].Passes {
+				t.Errorf("Passes not monotone: event %d has %d after %d", i, ev.Passes, events[i-1].Passes)
+			}
+			if ev.PeakWords < events[i-1].PeakWords {
+				t.Errorf("PeakWords not monotone: event %d has %d after %d", i, ev.PeakWords, events[i-1].PeakWords)
+			}
+		}
+	}
+	last := events[len(events)-1]
+	if last.Passes > out.Passes || last.PeakWords > out.PeakWords {
+		t.Errorf("final event meters (%d passes, %d words) exceed outcome (%d, %d)",
+			last.Passes, last.PeakWords, out.Passes, out.PeakWords)
+	}
+}
+
+// assertSameOutcome checks bit-identity of two outcomes (the ample-
+// budget no-op contract).
+func assertSameOutcome(t *testing.T, want, got *engine.Outcome) {
+	t.Helper()
+	if math.Float64bits(want.Weight) != math.Float64bits(got.Weight) {
+		t.Errorf("Weight %v != %v", got.Weight, want.Weight)
+	}
+	if want.Rounds != got.Rounds || want.Passes != got.Passes || want.PeakWords != got.PeakWords {
+		t.Errorf("meters (%d, %d, %d) != (%d, %d, %d)",
+			got.Rounds, got.Passes, got.PeakWords, want.Rounds, want.Passes, want.PeakWords)
+	}
+	if len(want.Matching.EdgeIdx) != len(got.Matching.EdgeIdx) {
+		t.Fatalf("matching sizes differ: %d != %d", len(got.Matching.EdgeIdx), len(want.Matching.EdgeIdx))
+	}
+	for i := range want.Matching.EdgeIdx {
+		if want.Matching.EdgeIdx[i] != got.Matching.EdgeIdx[i] {
+			t.Fatalf("matching edge %d differs: %d != %d", i, got.Matching.EdgeIdx[i], want.Matching.EdgeIdx[i])
+		}
+	}
+}
+
+// testBudgetTrips constrains each axis one notch below the unbudgeted
+// usage and demands a trip with best-so-far semantics. Axes whose
+// unbudgeted usage cannot exceed any positive limit (a one-pass
+// algorithm under a pass budget) are structurally untrippable and are
+// skipped.
+func testBudgetTrips(t *testing.T, g *graph.Graph, name string, base *engine.Outcome) {
+	cases := []struct {
+		axis   engine.BudgetAxis
+		usage  int
+		budget engine.Budget
+	}{
+		{engine.AxisPasses, base.Passes, engine.Budget{Passes: base.Passes - 1}},
+		{engine.AxisRounds, base.Rounds, engine.Budget{Rounds: base.Rounds - 1}},
+		{engine.AxisSpaceWords, base.PeakWords, engine.Budget{SpaceWords: base.PeakWords - 1}},
+	}
+	tripped := 0
+	for _, tc := range cases {
+		if tc.usage <= 1 {
+			continue // no positive limit can be exceeded
+		}
+		out, err := drive(t, name, context.Background(), stream.NewEdgeStream(g),
+			engine.Extensions{Budget: tc.budget})
+		if !errors.Is(err, engine.ErrBudgetExceeded) {
+			t.Errorf("axis %s: err = %v, want ErrBudgetExceeded", tc.axis, err)
+			continue
+		}
+		var be *engine.BudgetError
+		if !errors.As(err, &be) {
+			t.Errorf("axis %s: error is not a *BudgetError: %v", tc.axis, err)
+			continue
+		}
+		if be.Axis != tc.axis {
+			t.Errorf("tripped axis %s, want %s", be.Axis, tc.axis)
+		}
+		if be.Used <= be.Limit {
+			t.Errorf("axis %s: Used %d <= Limit %d", tc.axis, be.Used, be.Limit)
+		}
+		if out == nil {
+			t.Fatalf("axis %s: tripped run returned nil outcome", tc.axis)
+		}
+		if out.Matching == nil {
+			t.Fatalf("axis %s: tripped run has nil matching", tc.axis)
+		}
+		if err := out.Matching.Validate(g); err != nil {
+			t.Errorf("axis %s: best-so-far matching infeasible: %v", tc.axis, err)
+		}
+		tripped++
+	}
+	if tripped == 0 {
+		t.Error("no axis was trippable — conformance cannot exercise budget semantics")
+	}
+}
+
+// cancelAfterSource delegates to an inner source but cancels the given
+// context after `after` edge deliveries on metered sequential passes,
+// then keeps counting: only the engine's own guard may end the pass.
+type cancelAfterSource struct {
+	stream.Source
+	cancel context.CancelFunc
+	after  int
+
+	mu   sync.Mutex
+	seen int
+}
+
+func (c *cancelAfterSource) ForEach(f func(idx int, e graph.Edge) bool) {
+	c.Source.ForEach(func(idx int, e graph.Edge) bool {
+		c.mu.Lock()
+		c.seen++
+		if c.seen == c.after {
+			c.cancel()
+		}
+		c.mu.Unlock()
+		return f(idx, e)
+	})
+}
+
+func (c *cancelAfterSource) delivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen
+}
+
+// testCancellation cancels the context partway through the first pass
+// and demands a prompt abort: ctx.Err() surfaces, no certificate
+// survives, and the guarded sweeps stop within the engine's check
+// interval (256 edges) plus one fresh-pass grace.
+func testCancellation(t *testing.T, g *graph.Graph, name string) {
+	const after = 40
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancelAfterSource{Source: stream.NewEdgeStream(g), cancel: cancel, after: after}
+	out, err := drive(t, name, ctx, src, engine.Extensions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out == nil {
+		t.Fatal("cancelled run returned nil outcome")
+	}
+	if out.Lambda != 0 {
+		t.Errorf("cancelled run kept a certificate: Lambda = %v", out.Lambda)
+	}
+	if err := out.Matching.Validate(g); err != nil {
+		t.Errorf("cancelled run's matching infeasible: %v", err)
+	}
+	// The cancel fires mid-pass at delivery `after`; the engine's guard
+	// checks every 256 deliveries, so the aborting pass delivers at most
+	// ~256 more edges and no further pass gets past its first check.
+	if d := src.delivered(); d > after+2*256 {
+		t.Errorf("cancellation was not honored within a pass: %d edges delivered (cancelled at %d)", d, after)
+	}
+}

@@ -1,0 +1,229 @@
+// Package engine is the shared round-loop driver behind every matching
+// substrate in this module. The paper's thesis is that passes, rounds
+// and space are the currency in which different models of computation —
+// semi-streaming, MapReduce, congested clique — pay for a matching; the
+// engine makes that currency common infrastructure: one Run owns the
+// SpaceAccountant, the pass meter, the round counter, the budget trips
+// with best-so-far semantics and the per-round observer events, and
+// every Algorithm (the dual-primal solver, the one-pass greedy
+// baselines, the simulated clique protocol, the exact Hopcroft–Karp
+// reference) plugs its own Init/Round/Finish into the same loop. Cross-
+// model comparison then falls out of the registry: every registered
+// algorithm answers with the same Result shape, metered the same way,
+// budgeted and cancellable the same way.
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/matching"
+	"repro/internal/stream"
+)
+
+// Algorithm is one matching substrate plugged into the driver's round
+// loop. The contract:
+//
+//   - Init prepares all pre-loop state: instance scans, initial
+//     solutions, data structures. It charges central allocations to
+//     run.Acct, reads the stream only through the src it is handed (the
+//     driver may have wrapped it for cancellation), and calls
+//     run.Check() after each metered pass so pass/space budgets trip at
+//     the same boundaries the paper's accounting recognizes.
+//   - Round runs one adaptive round, or reports done. An implementation
+//     first decides whether another round is needed; if yes it MUST call
+//     run.BeginRound() before doing any work (that is where the rounds
+//     budget trips and the observer event fires), then do the round and
+//     return (false, nil). If converged, it returns (true, nil) without
+//     consuming anything. Returning a non-nil error aborts the run with
+//     best-so-far semantics.
+//   - Finish reports the best matching found so far plus the extras. It
+//     must be safe to call after a partial Init or mid-loop abort — on
+//     cancellation or a budget trip the driver still calls Finish, and
+//     "best so far" may legitimately be an empty matching.
+type Algorithm interface {
+	Init(ctx context.Context, run *Run, src stream.Source) error
+	Round(ctx context.Context, run *Run) (done bool, err error)
+	Finish(run *Run) (*matching.Matching, Extras)
+}
+
+// Run owns the resource machinery of one driven solve: the space
+// accountant, the pass meter baseline, the round counter, the budget and
+// the observer. Algorithms read and charge it; the driver settles it
+// into the Outcome.
+type Run struct {
+	// Acct meters words of central storage; its high-water mark is the
+	// space axis the paper bounds. Algorithms Alloc/Free on it directly.
+	Acct *stream.SpaceAccountant
+
+	// Lambda and Beta are the algorithm-published dual trajectory that
+	// the next RoundEvent snapshots. Algorithms that maintain a dual set
+	// them before calling BeginRound; others leave them zero.
+	Lambda, Beta float64
+
+	src      stream.Source
+	ctx      context.Context
+	budget   Budget
+	observer func(RoundEvent)
+	passes0  int
+	rounds   int
+}
+
+// Source returns the stream the run reads (already wrapped for prompt
+// cancellation when the context is cancellable).
+func (r *Run) Source() stream.Source { return r.src }
+
+// Rounds returns how many rounds have begun (1-based inside a round's
+// body, equal to the completed count between rounds).
+func (r *Run) Rounds() int { return r.rounds }
+
+// Passes returns the metered passes consumed by this run so far.
+func (r *Run) Passes() int { return r.src.Passes() - r.passes0 }
+
+// PeakWords returns the accountant's high-water mark so far.
+func (r *Run) PeakWords() int { return r.Acct.Peak() }
+
+// BeginRound opens the next round: it trips the rounds budget exactly
+// when the algorithm wants a round it is not allowed (a run that
+// converges within budget never trips), advances the accountant's round
+// counter, and emits the per-round observer event. Algorithms call it
+// once per round, after deciding the round is needed and before doing
+// any of its work.
+func (r *Run) BeginRound() error {
+	if r.budget.Rounds > 0 && r.rounds >= r.budget.Rounds {
+		return &BudgetError{Axis: AxisRounds, Limit: r.budget.Rounds, Used: r.rounds + 1}
+	}
+	r.Acct.BeginRound()
+	r.rounds++
+	if r.observer != nil {
+		r.observer(RoundEvent{Round: r.rounds, Lambda: r.Lambda, Beta: r.Beta,
+			Passes: r.Passes(), PeakWords: r.Acct.Peak()})
+	}
+	return nil
+}
+
+// Check is the pass/round-boundary checkpoint: context first, then the
+// pass and space budgets against the live meters. All reads, no writes —
+// an un-tripped run is bit-identical to an unbudgeted one. Algorithms
+// call it after every metered pass and every central allocation; the
+// driver also calls it after Init and between rounds.
+func (r *Run) Check() error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	if r.budget.Passes > 0 {
+		if used := r.Passes(); used > r.budget.Passes {
+			return &BudgetError{Axis: AxisPasses, Limit: r.budget.Passes, Used: used}
+		}
+	}
+	if r.budget.SpaceWords > 0 {
+		if peak := r.Acct.Peak(); peak > r.budget.SpaceWords {
+			return &BudgetError{Axis: AxisSpaceWords, Limit: r.budget.SpaceWords, Used: peak}
+		}
+	}
+	return nil
+}
+
+// Extras carries the algorithm-specific outcome fields beyond the
+// matching itself. Algorithms without a dual leave the dual fields zero;
+// CertifiedUpperBound then reports +Inf, which is honest.
+type Extras struct {
+	// Weight is the matching's weight in original units.
+	Weight float64
+	// DualObjective is the final dual objective scaled back to original
+	// units (0 when the algorithm computes no dual).
+	DualObjective float64
+	// Lambda is the final minimum normalized coverage over kept edges (0
+	// when the algorithm computes no dual).
+	Lambda float64
+	// EarlyStopped reports whether the algorithm converged before its
+	// round cap.
+	EarlyStopped bool
+}
+
+// Outcome is what the driver settles a run into: the best matching, the
+// algorithm extras, and the resource meters the Run accumulated.
+type Outcome struct {
+	// Matching is the best matching found (never nil; possibly empty).
+	Matching *matching.Matching
+	Extras
+	// Rounds is how many rounds the loop ran.
+	Rounds int
+	// Passes is the metered passes consumed over the input Source.
+	Passes int
+	// PeakWords is the high-water mark of metered central storage.
+	PeakWords int
+}
+
+// Drive runs alg under the shared round loop: cancellation is honored at
+// pass and round boundaries (in-flight sequential sweeps abort within a
+// constant number of edges), budgets trip at the same checkpoints, and a
+// trip or cancellation returns the best-so-far Outcome together with the
+// error. A budget trip fires only at checkpoints, so the dual fields an
+// algorithm reports are the last completely evaluated ones and a
+// positive certificate stands; a non-budget abort can interrupt a dual
+// evaluation mid-flight, leaving an unsound prefix-minimum, so those
+// runs surrender the certificate: Lambda is zeroed and only the primal
+// matching is the contract. The Outcome is non-nil on every path.
+func Drive(ctx context.Context, alg Algorithm, src stream.Source, ext Extensions) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := &Outcome{Matching: &matching.Matching{}}
+	if src.Len() == 0 {
+		return out, nil
+	}
+	if ctx.Done() != nil {
+		// Only a cancellable context needs the guarded sweeps; a plain
+		// background context keeps the unwrapped source (identical code
+		// path).
+		src = newCtxSource(ctx, src)
+	}
+	run := &Run{
+		Acct:     stream.NewSpaceAccountant(),
+		src:      src,
+		ctx:      ctx,
+		budget:   ext.Budget,
+		observer: ext.Observer,
+		passes0:  src.Passes(),
+	}
+	// finish settles the Outcome — the one block shared by the normal
+	// exit and every abort, so completed and tripped/cancelled runs can
+	// never diverge on a field.
+	finish := func(err error) (*Outcome, error) {
+		m, ex := alg.Finish(run)
+		if m != nil {
+			out.Matching = m
+		}
+		out.Extras = ex
+		out.Rounds = run.rounds
+		out.Passes = run.Passes()
+		out.PeakWords = run.Acct.Peak()
+		if err != nil {
+			var be *BudgetError
+			if !errors.As(err, &be) {
+				out.Lambda = 0
+			}
+		}
+		return out, err
+	}
+	if err := alg.Init(ctx, run, src); err != nil {
+		return finish(err)
+	}
+	if err := run.Check(); err != nil {
+		return finish(err)
+	}
+	for {
+		done, err := alg.Round(ctx, run)
+		if err != nil {
+			return finish(err)
+		}
+		if done {
+			break
+		}
+		if err := run.Check(); err != nil {
+			return finish(err)
+		}
+	}
+	return finish(nil)
+}

@@ -26,19 +26,50 @@ import (
 	"repro/internal/stream"
 )
 
+// GreedyState is the O(n) incremental state of one-pass greedy maximal
+// matching: Offer every edge in stream order and the matched set is
+// maximal when the stream ends. It exists so both OnePassGreedy and the
+// engine-driven greedy algorithm consume the identical decision rule —
+// the round-loop driver feeds it edge by edge and reads the running
+// weight without a second pass.
+type GreedyState struct {
+	used   []bool
+	m      *matching.Matching
+	weight float64
+}
+
+// NewGreedyState returns empty greedy state over n vertices.
+func NewGreedyState(n int) *GreedyState {
+	return &GreedyState{used: make([]bool, n), m: &matching.Matching{}}
+}
+
+// Offer considers one stream edge and reports whether it was taken
+// (both endpoints free).
+func (g *GreedyState) Offer(idx int, e graph.Edge) bool {
+	if g.used[e.U] || g.used[e.V] {
+		return false
+	}
+	g.used[e.U], g.used[e.V] = true, true
+	g.m.EdgeIdx = append(g.m.EdgeIdx, idx)
+	g.weight += e.W
+	return true
+}
+
+// Matching returns the matched set built so far (live, not a copy).
+func (g *GreedyState) Matching() *matching.Matching { return g.m }
+
+// Weight returns the total weight of the matched set so far.
+func (g *GreedyState) Weight() float64 { return g.weight }
+
 // OnePassGreedy returns a maximal matching built in a single pass: an
 // edge is taken iff both endpoints are currently free.
 func OnePassGreedy(s stream.Source) *matching.Matching {
-	used := make([]bool, s.N())
-	out := &matching.Matching{}
+	st := NewGreedyState(s.N())
 	s.ForEach(func(idx int, e graph.Edge) bool {
-		if !used[e.U] && !used[e.V] {
-			used[e.U], used[e.V] = true, true
-			out.EdgeIdx = append(out.EdgeIdx, idx)
-		}
+		st.Offer(idx, e)
 		return true
 	})
-	return out
+	return st.Matching()
 }
 
 // OnePassReplace runs McGregor's replacement algorithm with parameter
@@ -92,96 +123,115 @@ func OnePassReplace(s stream.Source, gamma float64) *matching.Matching {
 // Starting from a maximal matching this converges toward a 2/3
 // approximation of maximum cardinality.
 func ShortAugmentPasses(s stream.Source, m *matching.Matching, maxPasses int) *matching.Matching {
-	n := s.N()
 	cur := map[int]bool{}
 	for _, idx := range m.EdgeIdx {
 		cur[idx] = true
 	}
 	for pass := 0; pass < maxPasses; pass++ {
-		matchAt := make([]int, n)
-		for i := range matchAt {
-			matchAt[i] = -1
-		}
-		edgeOf := make(map[int]graph.Edge, len(cur))
-		s.ForEach(func(idx int, e graph.Edge) bool {
-			if cur[idx] {
-				matchAt[e.U] = idx
-				matchAt[e.V] = idx
-				edgeOf[idx] = e
-			}
-			return true
-		})
-		// Collect, per matched edge, one candidate wing at each endpoint:
-		// wing edges go from a free vertex to a matched endpoint.
-		type wings struct {
-			uWing, vWing   int // edge indices, -1 if none
-			uFree, vFree   int32
-			uTaken, vTaken bool
-			matched        graph.Edge
-			matchedIdx     int
-		}
-		byMatched := map[int]*wings{}
-		freeTaken := make([]bool, n)
-		s.ForEach(func(idx int, e graph.Edge) bool {
-			if cur[idx] {
-				return true
-			}
-			fu, fv := matchAt[e.U] == -1, matchAt[e.V] == -1
-			if fu == fv {
-				return true // both free (matching not maximal) or both matched
-			}
-			free, anchored := e.U, e.V
-			if fv {
-				free, anchored = e.V, e.U
-			}
-			mi := matchAt[anchored]
-			w := byMatched[mi]
-			if w == nil {
-				me := edgeOf[mi]
-				w = &wings{uWing: -1, vWing: -1, matched: me, matchedIdx: mi}
-				byMatched[mi] = w
-			}
-			if anchored == w.matched.U && w.uWing == -1 {
-				w.uWing, w.uFree = idx, free
-			} else if anchored == w.matched.V && w.vWing == -1 {
-				w.vWing, w.vFree = idx, free
-			}
-			return true
-		})
-		// Resolve: an augmenting path needs wings at both endpoints with
-		// distinct free vertices not already used this round. Matched
-		// edges are visited in sorted index order — map iteration order
-		// would make the conflict resolution (and thus the result)
-		// nondeterministic run to run.
-		matchedIdxs := make([]int, 0, len(byMatched))
-		for mi := range byMatched {
-			matchedIdxs = append(matchedIdxs, mi)
-		}
-		slices.Sort(matchedIdxs)
-		augmented := false
-		for _, mi := range matchedIdxs {
-			w := byMatched[mi]
-			if w.uWing == -1 || w.vWing == -1 || w.uFree == w.vFree {
-				continue
-			}
-			if freeTaken[w.uFree] || freeTaken[w.vFree] {
-				continue
-			}
-			freeTaken[w.uFree] = true
-			freeTaken[w.vFree] = true
-			delete(cur, w.matchedIdx)
-			cur[w.uWing] = true
-			cur[w.vWing] = true
-			augmented = true
-		}
-		if !augmented {
+		if augmented, _ := AugmentRound(s, cur); !augmented {
 			break
 		}
 	}
+	return SortedMatching(cur)
+}
+
+// SortedMatching converts a matched edge-index set into a Matching with
+// deterministically ordered indices.
+func SortedMatching(cur map[int]bool) *matching.Matching {
 	out := &matching.Matching{}
 	for idx := range cur {
 		out.EdgeIdx = append(out.EdgeIdx, idx)
 	}
 	slices.Sort(out.EdgeIdx)
 	return out
+}
+
+// AugmentRound performs one round of length-3 augmentation over the
+// matched edge-index set cur, mutating it in place: two metered passes
+// (one to locate the matched edges, one to collect candidate wings),
+// then a deterministic vertex-disjoint resolution. It reports whether
+// any augmenting path was applied and the total matching-weight delta of
+// the applied augmentations. ShortAugmentPasses and the engine-driven
+// greedy-augment algorithm share this exact round.
+func AugmentRound(s stream.Source, cur map[int]bool) (bool, float64) {
+	n := s.N()
+	matchAt := make([]int, n)
+	for i := range matchAt {
+		matchAt[i] = -1
+	}
+	edgeOf := make(map[int]graph.Edge, len(cur))
+	s.ForEach(func(idx int, e graph.Edge) bool {
+		if cur[idx] {
+			matchAt[e.U] = idx
+			matchAt[e.V] = idx
+			edgeOf[idx] = e
+		}
+		return true
+	})
+	// Collect, per matched edge, one candidate wing at each endpoint:
+	// wing edges go from a free vertex to a matched endpoint.
+	type wings struct {
+		uWing, vWing int // edge indices, -1 if none
+		uFree, vFree int32
+		uW, vW       float64
+		matched      graph.Edge
+		matchedIdx   int
+	}
+	byMatched := map[int]*wings{}
+	freeTaken := make([]bool, n)
+	s.ForEach(func(idx int, e graph.Edge) bool {
+		if cur[idx] {
+			return true
+		}
+		fu, fv := matchAt[e.U] == -1, matchAt[e.V] == -1
+		if fu == fv {
+			return true // both free (matching not maximal) or both matched
+		}
+		free, anchored := e.U, e.V
+		if fv {
+			free, anchored = e.V, e.U
+		}
+		mi := matchAt[anchored]
+		w := byMatched[mi]
+		if w == nil {
+			me := edgeOf[mi]
+			w = &wings{uWing: -1, vWing: -1, matched: me, matchedIdx: mi}
+			byMatched[mi] = w
+		}
+		if anchored == w.matched.U && w.uWing == -1 {
+			w.uWing, w.uFree, w.uW = idx, free, e.W
+		} else if anchored == w.matched.V && w.vWing == -1 {
+			w.vWing, w.vFree, w.vW = idx, free, e.W
+		}
+		return true
+	})
+	// Resolve: an augmenting path needs wings at both endpoints with
+	// distinct free vertices not already used this round. Matched
+	// edges are visited in sorted index order — map iteration order
+	// would make the conflict resolution (and thus the result)
+	// nondeterministic run to run.
+	matchedIdxs := make([]int, 0, len(byMatched))
+	for mi := range byMatched {
+		matchedIdxs = append(matchedIdxs, mi)
+	}
+	slices.Sort(matchedIdxs)
+	augmented := false
+	delta := 0.0
+	for _, mi := range matchedIdxs {
+		w := byMatched[mi]
+		if w.uWing == -1 || w.vWing == -1 || w.uFree == w.vFree {
+			continue
+		}
+		if freeTaken[w.uFree] || freeTaken[w.vFree] {
+			continue
+		}
+		freeTaken[w.uFree] = true
+		freeTaken[w.vFree] = true
+		delete(cur, w.matchedIdx)
+		cur[w.uWing] = true
+		cur[w.vWing] = true
+		delta += w.uW + w.vW - w.matched.W
+		augmented = true
+	}
+	return augmented, delta
 }

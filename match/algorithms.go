@@ -1,0 +1,42 @@
+package match
+
+import (
+	"repro/internal/engine"
+
+	// The ported substrates (semi-streaming greedy, clique protocol,
+	// Hopcroft–Karp) register themselves with the engine on import; the
+	// dual-primal registration rides in with internal/core.
+	_ "repro/internal/algos"
+)
+
+// DefaultAlgorithm is the algorithm a Solver runs when WithAlgorithm is
+// not given: the paper's dual-primal solver. The default path is
+// bit-identical to the historical engine behavior.
+const DefaultAlgorithm = "dual-primal"
+
+// AlgorithmInfo describes one registered algorithm: its registry name,
+// the model of computation it belongs to, its guarantee, and its
+// resource profile in the paper's currency (passes, rounds, central
+// words).
+type AlgorithmInfo = engine.Info
+
+// Algorithms enumerates every registered matching algorithm, sorted by
+// name. Any returned Name is valid for WithAlgorithm; all of them run
+// under the same round-loop driver, so budgets, observers, cancellation
+// and the Stats meters behave uniformly across the registry.
+func Algorithms() []AlgorithmInfo { return engine.List() }
+
+// ErrUnsupported is the sentinel Solve errors wrap when the configured
+// algorithm does not support the instance (e.g. hopcroft-karp on a
+// nonbipartite graph or non-unit capacities). Match it with errors.Is to
+// distinguish "wrong algorithm for this input" from solver failures.
+var ErrUnsupported = engine.ErrUnsupported
+
+// WithAlgorithm selects which registered algorithm the Solver runs; see
+// Algorithms for the registry. The default is DefaultAlgorithm, the
+// dual-primal solver. Every algorithm honors the same budgets, observer
+// events and context cancellation; options an algorithm has no use for
+// (e.g. WithEps for the exact baseline) are ignored by it.
+func WithAlgorithm(name string) Option {
+	return func(s *Solver) { s.algo = name }
+}

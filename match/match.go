@@ -37,6 +37,15 @@
 // an equivalence test over a 14-run corpus; the Result is a pure
 // function of (edge sequence, options) for every backend and worker
 // count.
+//
+// The dual-primal solver is one algorithm in a registry: WithAlgorithm
+// selects others (the semi-streaming greedy baselines, the simulated
+// congested-clique protocol, exact Hopcroft–Karp; see Algorithms), all
+// running on the same round-loop driver, so budgets, observers,
+// cancellation and the Stats meters behave identically whichever
+// substrate computes the matching:
+//
+//	res, err := match.Solve(ctx, src, match.WithAlgorithm("greedy"))
 package match
 
 import (
@@ -45,6 +54,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/stream"
 )
 
@@ -79,6 +89,7 @@ type Solver struct {
 	opt    core.Options
 	budget Budget
 	obs    Observer
+	algo   string
 }
 
 // New builds a Solver from functional options; unspecified knobs take
@@ -89,7 +100,7 @@ func New(opts ...Option) (*Solver, error) {
 		Eps:  DefaultEps,
 		P:    DefaultSpaceExponent,
 		Seed: DefaultSeed,
-	}}
+	}, algo: DefaultAlgorithm}
 	for _, o := range opts {
 		o(s)
 	}
@@ -108,6 +119,9 @@ func New(opts ...Option) (*Solver, error) {
 	if s.budget.Passes < 0 || s.budget.Rounds < 0 || s.budget.SpaceWords < 0 {
 		return nil, fmt.Errorf("%w: budget axes must be >= 0 (0 = unlimited), got %+v", ErrInvalidOption, s.budget)
 	}
+	if _, _, ok := engine.Lookup(s.algo); !ok {
+		return nil, fmt.Errorf("%w: unknown algorithm %q (registered: %s)", ErrInvalidOption, s.algo, engine.Names())
+	}
 	return s, nil
 }
 
@@ -117,19 +131,27 @@ func (s *Solver) Eps() float64 { return s.opt.Eps }
 // Budget returns the configured resource budget (zero value when none).
 func (s *Solver) Budget() Budget { return s.budget }
 
-// Solve runs the dual-primal algorithm over src.
+// Algorithm returns the name of the algorithm this Solver runs.
+func (s *Solver) Algorithm() string { return s.algo }
+
+// Solve runs the configured algorithm over src — the dual-primal solver
+// by default, or any registry algorithm selected with WithAlgorithm. An
+// algorithm that cannot serve the instance (e.g. hopcroft-karp on a
+// nonbipartite graph) fails with an error matching ErrUnsupported.
 //
 // The context is checked at pass and round boundaries on every backend;
 // once it is cancelled (or its deadline passes), in-flight sweeps abort
 // within a constant number of edges and Solve returns ctx.Err() together
 // with the best-so-far Result.
 //
-// A configured Budget is enforced at the same checkpoints. On a trip,
-// Solve returns the best-so-far Result and a *BudgetError matching
-// ErrBudgetExceeded; Result.Matching is always feasible (it only ever
-// grows by whole offline solutions) and Result.Stats meters what was
-// actually consumed. An ample budget changes nothing: the run is
-// bit-identical to an unbudgeted one.
+// A configured Budget is enforced at the same checkpoints, identically
+// for every algorithm. On a trip, Solve returns the best-so-far Result
+// and a *BudgetError matching ErrBudgetExceeded; Result.Matching is
+// always feasible (every algorithm updates it only in whole,
+// feasibility-preserving steps — the dual-primal solver by whole
+// offline solutions) and Result.Stats meters what was actually
+// consumed. An ample budget changes nothing: the run is bit-identical
+// to an unbudgeted one.
 //
 // The Result is a pure function of (edge sequence, options): every
 // backend serving the same sequence returns a bit-identical Result for
@@ -140,12 +162,44 @@ func (s *Solver) Solve(ctx context.Context, src Source) (*Result, error) {
 		obs := s.obs
 		hook = func(ev core.RoundEvent) { obs.OnRound(ev) }
 	}
-	res, err := core.SolveWith(ctx, src, s.opt, core.Extensions{
-		Budget:   s.budget,
-		Observer: hook,
-	})
-	if res == nil {
+	ext := engine.Extensions{Budget: s.budget, Observer: hook}
+	if s.algo == DefaultAlgorithm {
+		// The dual-primal path keeps its dedicated entry point so the
+		// full Options (including the constant-regime Profile) reach the
+		// solver and the rich per-substrate Stats survive; it runs under
+		// the same engine.Drive as every registry algorithm.
+		res, err := core.SolveWith(ctx, src, s.opt, ext)
+		if res == nil {
+			return nil, err
+		}
+		return fromCore(res, s.opt.Eps), err
+	}
+	_, factory, _ := engine.Lookup(s.algo) // validated by New
+	alg, err := factory(engine.Params{Eps: s.opt.Eps, P: s.opt.P, Seed: s.opt.Seed,
+		Workers: s.opt.Workers, MaxRounds: s.opt.MaxRounds})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.algo, err)
+	}
+	out, err := engine.Drive(ctx, alg, src, ext)
+	if out == nil {
 		return nil, err
 	}
-	return fromCore(res, s.opt.Eps), err
+	return fromOutcome(out, s.opt.Eps), err
+}
+
+// Solve is the one-shot convenience path — match.New plus Solver.Solve
+// in a single call. It is the glue every harness (the bench experiments,
+// the examples, simple callers) shares:
+//
+//	res, err := match.Solve(ctx, stream.NewEdgeStream(g),
+//	    match.WithEps(0.25), match.WithAlgorithm("greedy"))
+//
+// Build a Solver with New instead when one configuration runs many
+// solves.
+func Solve(ctx context.Context, src Source, opts ...Option) (*Result, error) {
+	s, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(ctx, src)
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/matching"
 )
 
@@ -142,4 +143,29 @@ func fromCore(res *core.Result, eps float64) *Result {
 		out.Matching = Matching{EdgeIdx: res.Matching.EdgeIdx, Mult: res.Matching.Mult}
 	}
 	return out
+}
+
+// fromOutcome converts a driver Outcome (any registry algorithm) to the
+// public shape. The driver's generic meters land on the same Stats
+// fields the dual-primal solver fills — rounds, passes, peak words — so
+// cross-algorithm rows compare like for like; substrate-specific
+// counters (oracle uses, micro calls) stay zero for algorithms that
+// have no such machinery.
+func fromOutcome(out *engine.Outcome, eps float64) *Result {
+	res := &Result{
+		Weight:        out.Weight,
+		DualObjective: out.DualObjective,
+		Lambda:        out.Lambda,
+		Eps:           eps,
+		Stats: Stats{
+			SamplingRounds: out.Rounds,
+			Passes:         out.Passes,
+			PeakWords:      out.PeakWords,
+			EarlyStopped:   out.EarlyStopped,
+		},
+	}
+	if out.Matching != nil {
+		res.Matching = Matching{EdgeIdx: out.Matching.EdgeIdx, Mult: out.Matching.Mult}
+	}
+	return res
 }
