@@ -1,6 +1,6 @@
 package repro
 
-// One testing.B benchmark per experiment table (E1–E14, EA, ES — see
+// One testing.B benchmark per experiment table (E1–E14, E17, EA, ES — see
 // DESIGN.md section 4 and EXPERIMENTS.md). Each benchmark regenerates
 // its table in quick mode and reports rows produced; `go test -bench=. -benchmem`
 // therefore re-derives every quantitative claim of the paper at CI
@@ -44,6 +44,7 @@ func BenchmarkE11Congest(b *testing.B)      { runExperiment(b, "e11") }
 func BenchmarkE12Relaxations(b *testing.B)  { runExperiment(b, "e12") }
 func BenchmarkE13Scaling(b *testing.B)      { runExperiment(b, "e13") }
 func BenchmarkE14Workers(b *testing.B)      { runExperiment(b, "e14") }
+func BenchmarkE17Throughput(b *testing.B)   { runExperiment(b, "e17") }
 
 func BenchmarkEAblations(b *testing.B)  { runExperiment(b, "ea") }
 func BenchmarkESemiStream(b *testing.B) { runExperiment(b, "es") }

@@ -11,6 +11,7 @@
 //	matchbench -workers 4      # shard the pipeline (0 = GOMAXPROCS)
 //	matchbench -json -rev abc  # also write BENCH_abc.json
 //	matchbench -compare BENCH_pr3.json BENCH_pr4.json
+//	matchbench -throughput     # serving layer only (E17: sessions, warm duals, Pool)
 //
 // With -json the run is additionally captured as a machine-readable
 // BENCH_<rev>.json (override the path with -jsonpath): every table's
@@ -65,6 +66,7 @@ func main() {
 	rev := flag.String("rev", "dev", "revision label for the JSON capture")
 	jsonPath := flag.String("jsonpath", "", "override the JSON capture path (default BENCH_<rev>.json)")
 	compare := flag.String("compare", "", "diff two BENCH captures: -compare OLD.json NEW.json (no experiments are run)")
+	throughput := flag.Bool("throughput", false, "run only the serving-throughput experiment (shorthand for -exp e17)")
 	flag.Parse()
 
 	if *compare != "" {
@@ -82,6 +84,13 @@ func main() {
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	ids := bench.IDs()
+	if *throughput {
+		if *exps != "" {
+			fmt.Fprintln(os.Stderr, "-throughput and -exp are mutually exclusive")
+			os.Exit(2)
+		}
+		*exps = "e17"
+	}
 	if *exps != "" {
 		ids = ids[:0]
 		for _, id := range strings.Split(*exps, ",") {
@@ -90,7 +99,7 @@ func main() {
 				continue
 			}
 			if _, ok := bench.ByID(id); !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e16, ea, es)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e17, ea, es)\n", id)
 				os.Exit(2)
 			}
 			ids = append(ids, strings.ToLower(id))

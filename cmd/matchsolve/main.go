@@ -14,6 +14,7 @@
 //	matchsolve -n 200 -m 2000 -max-rounds 2           # enforce a round budget
 //	matchsolve -algo list                             # enumerate the registry
 //	matchsolve -n 200 -m 2000 -algo greedy            # a different substrate
+//	matchsolve -n 200 -m 2000 -repeat 5 -warm-duals   # session reuse + warm-started duals
 //
 // Every algorithm in the registry (-algo list) runs under the same
 // engine driver: budgets, the stats meters and context handling behave
@@ -94,7 +95,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxRounds := fs.Int("max-rounds", 0, "budget: adaptive sampling rounds (0 = unlimited)")
 	maxWords := fs.Int("max-words", 0, "budget: peak central storage in words (0 = unlimited)")
 	algo := fs.String("algo", match.DefaultAlgorithm, "matching algorithm from the registry, or 'list' to enumerate")
+	repeat := fs.Int("repeat", 1, "re-solve the same source N times through one session (per-iteration lines in text mode)")
+	warmDuals := fs.Bool("warm-duals", false, "with -repeat: seed each re-solve's duals from the previous solution")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *repeat < 1 {
+		fmt.Fprintf(stderr, "-repeat %d must be >= 1\n", *repeat)
+		return 2
+	}
+	if *warmDuals && *repeat < 2 {
+		fmt.Fprintln(stderr, "-warm-duals requires -repeat >= 2 (there is no previous solution to seed from)")
 		return 2
 	}
 
@@ -172,10 +183,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("configure: %v", err)
 	}
-	res, err := solver.Solve(context.Background(), src)
+	// One solver session serves every -repeat iteration; with
+	// -warm-duals each re-solve seeds its duals from the previous
+	// solution, so the per-iteration lines make the round/pass savings
+	// visible. Only the final iteration's result is reported in full
+	// (and in the -json document).
+	var res *match.Result
 	var budgetErr *match.BudgetError
-	if err != nil && !errors.As(err, &budgetErr) {
-		return fail("solve: %v", err)
+	for iter := 1; iter <= *repeat; iter++ {
+		var extra []match.Option
+		if *warmDuals && res != nil {
+			extra = append(extra, match.WithInitialDuals(res))
+		}
+		r, err := solver.Solve(context.Background(), src, extra...)
+		budgetErr = nil
+		if err != nil && !errors.As(err, &budgetErr) {
+			return fail("solve: %v", err)
+		}
+		res = r
+		if *repeat > 1 && !*jsonOut {
+			st := r.Stats
+			fmt.Fprintf(stdout, "repeat          iter=%d/%d rounds=%d init=%d passes=%d weight=%.4f warm=%v\n",
+				iter, *repeat, st.SamplingRounds, st.InitRounds, st.Passes, r.Weight, st.WarmStarted)
+		}
 	}
 	if err := res.Validate(src); err != nil {
 		return fail("internal error: invalid matching: %v", err)

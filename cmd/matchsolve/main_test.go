@@ -210,6 +210,46 @@ func TestGoldenAlgoSelection(t *testing.T) {
 	}
 }
 
+// TestGoldenRepeatWarmDuals pins the -repeat/-warm-duals surface: one
+// session re-solving the same instance, per-iteration lines making the
+// warm-start savings visible (iteration 1 is cold, iteration 2 installs
+// the snapshot and drops rounds, later iterations converge in one
+// round), and the final full report coming from the last iteration.
+func TestGoldenRepeatWarmDuals(t *testing.T) {
+	got := runCLI(t, "-n", "40", "-m", "200", "-wmax", "20", "-seed", "3",
+		"-eps", "0.3", "-p", "2", "-workers", "1", "-repeat", "4", "-warm-duals")
+	checkGolden(t, got, "repeat_warm_duals.golden")
+	if !strings.Contains(got, "iter=1/4") || !strings.Contains(got, "iter=4/4") {
+		t.Errorf("per-iteration lines missing:\n%s", got)
+	}
+	if !strings.Contains(got, "warm=false") || !strings.Contains(got, "warm=true") {
+		t.Errorf("warm flags missing from iteration lines:\n%s", got)
+	}
+	// Without -warm-duals the repeats stay cold — the session is reused
+	// but every iteration rebuilds the initial solution.
+	cold := runCLI(t, "-n", "40", "-m", "200", "-wmax", "20", "-seed", "3",
+		"-eps", "0.3", "-p", "2", "-workers", "1", "-repeat", "2")
+	if strings.Contains(cold, "warm=true") {
+		t.Errorf("-repeat without -warm-duals warm-started:\n%s", cold)
+	}
+}
+
+func TestBadRepeatFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-repeat", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("-repeat 0 exited %d, want 2", code)
+	}
+	// -warm-duals with nothing to seed from is a usage error, not a
+	// silent cold run.
+	errOut.Reset()
+	if code := run([]string{"-warm-duals"}, &out, &errOut); code != 2 {
+		t.Fatalf("-warm-duals without -repeat exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-repeat") {
+		t.Fatalf("stderr should explain the -repeat requirement: %q", errOut.String())
+	}
+}
+
 // TestAlgoBudgetUniform pins that budgets work identically through
 // every substrate: a 1-round budget trips the multi-round
 // greedy-augment run with the standard exit code and stderr axis.

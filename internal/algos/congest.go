@@ -33,6 +33,16 @@ func (a *cliqueAlg) Init(_ context.Context, run *engine.Run, src stream.Source) 
 	return nil
 }
 
+// Reset drops the per-run snapshot and protocol for session reuse. The
+// clique model's state is the materialized instance itself, which a new
+// run must rebuild from its own source, so nothing is retained beyond
+// the configuration.
+func (a *cliqueAlg) Reset(p engine.Params) {
+	a.p, a.seed, a.maxRounds = p.P, p.Seed, p.MaxRounds
+	a.g = nil
+	a.proto = nil
+}
+
 // Round steps the protocol one simulated clique round.
 func (a *cliqueAlg) Round(_ context.Context, run *engine.Run) (bool, error) {
 	if err := run.BeginRound(); err != nil {

@@ -41,6 +41,14 @@ func (a *hkAlg) Init(_ context.Context, run *engine.Run, src stream.Source) erro
 	return nil
 }
 
+// Reset drops the per-run graph and phase state for session reuse; the
+// exact baseline's state is the materialized instance, rebuilt per run.
+func (a *hkAlg) Reset(engine.Params) {
+	a.g = nil
+	a.h = nil
+	a.done = false
+}
+
 // Round runs one Hopcroft–Karp phase; the phase that finds no augmenting
 // path proves the matching maximum and ends the loop (it still counts —
 // it did a full BFS over the adjacency).

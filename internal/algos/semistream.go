@@ -29,6 +29,7 @@ type greedyAlg struct {
 	n             int
 	st            *semistream.GreedyState
 	cur           map[int]bool // matched edge-index set once augmenting
+	bits          []bool       // session-retained matched-vertex buffer
 	weight        float64
 	earlyStopped  bool
 }
@@ -42,6 +43,22 @@ func (a *greedyAlg) Init(_ context.Context, run *engine.Run, src stream.Source) 
 	return nil
 }
 
+// Reset clears the per-run state for session reuse. The matched-vertex
+// bit buffer is retained (it is scratch), and so is augmentRounds (the
+// factory resolved it from the same Params the session hands back);
+// the greedy state, its edge list and the augmenting edge-index set
+// are not — the previous run's Outcome owns the matching, and a
+// non-nil cur doubles as the "already augmenting" signal Finish keys
+// on.
+func (a *greedyAlg) Reset(engine.Params) {
+	a.src = nil
+	a.n = 0
+	a.st = nil
+	a.cur = nil
+	a.weight = 0
+	a.earlyStopped = false
+}
+
 // Round runs the greedy pass first, then one augmentation round per
 // driver round until no augmenting path is found or the cap is reached.
 func (a *greedyAlg) Round(_ context.Context, run *engine.Run) (bool, error) {
@@ -50,7 +67,7 @@ func (a *greedyAlg) Round(_ context.Context, run *engine.Run) (bool, error) {
 		if err := run.BeginRound(); err != nil {
 			return false, err
 		}
-		a.st = semistream.NewGreedyState(a.n)
+		a.st, a.bits = semistream.NewGreedyStateIn(a.n, a.bits)
 		a.src.ForEach(func(idx int, e graph.Edge) bool {
 			a.st.Offer(idx, e)
 			return true

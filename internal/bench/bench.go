@@ -111,7 +111,7 @@ func noteWorkers(t *Table, cfg Config) {
 // IDs returns every experiment id in canonical run order.
 func IDs() []string {
 	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "e13", "e14", "e15", "e16", "ea", "es"}
+		"e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "ea", "es"}
 }
 
 // All runs every experiment and returns the tables in order.
@@ -132,7 +132,8 @@ func ByID(id string) (func(Config) Table, bool) {
 		"e7": E7Sparsifier, "e8": E8Filtering, "e9": E9MapReduce,
 		"e10": E10BMatching, "e11": E11Congest, "e12": E12Relaxations,
 		"e13": E13Scaling, "e14": E14Workers, "e15": E15Backends,
-		"e16": E16Algorithms, "ea": EAblations, "es": ESemiStream,
+		"e16": E16Algorithms, "e17": E17Throughput,
+		"ea": EAblations, "es": ESemiStream,
 	}
 	fn, ok := m[strings.ToLower(id)]
 	return fn, ok

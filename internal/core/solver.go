@@ -40,6 +40,13 @@ type Options struct {
 	// adaptivity is the quantity the paper bounds, not an implementation
 	// artifact.
 	Workers int
+	// Warm, when non-nil, requests a warm start from a prior solution's
+	// dual snapshot: when the snapshot addresses the same discretization
+	// (same n, ε, W*, B — see WarmDuals), the solve installs it in place
+	// of the Lemma 20/21 initial solution and typically converges in
+	// fewer rounds and passes; otherwise it falls back to the certified
+	// cold start. Stats.WarmStarted reports which path ran.
+	Warm *WarmDuals
 }
 
 // Stats reports the resource usage the paper's theorems bound.
@@ -58,6 +65,10 @@ type Stats struct {
 	BetaTrace       []float64
 	WitnessEvents   int // MicroOracle part (i) firings
 	EarlyStopped    bool
+	// WarmStarted reports that the run installed a prior solution's dual
+	// snapshot instead of building the Lemma 20/21 initial solution (a
+	// requested-but-invalid snapshot falls back cold and reports false).
+	WarmStarted bool
 	// RoundOfBestMatching is the (1-based) sampling round in which the
 	// reported matching was found — the primal convergence point, usually
 	// far earlier than the dual early-stop.
@@ -78,6 +89,10 @@ type Result struct {
 	// Lambda is the final minimum normalized coverage over kept edges.
 	Lambda float64
 	Stats  Stats
+	// Warm is a detached snapshot of the final dual state, installable
+	// into a later solve via Options.Warm (nil when the run aborted
+	// before the duals existed).
+	Warm *WarmDuals
 }
 
 // CertifiedUpperBound returns the dual certificate's upper bound on the
@@ -150,21 +165,11 @@ func Solve(src stream.Source, opt Options) (*Result, error) {
 // SolveWith is bit-identical to Solve: enforcement only reads meters the
 // engine already keeps.
 func SolveWith(ctx context.Context, src stream.Source, opt Options, ext Extensions) (*Result, error) {
-	alg, err := newDualPrimal(opt)
+	s, err := NewSession(opt)
 	if err != nil {
 		return nil, err
 	}
-	out, err := engine.Drive(ctx, alg, src, ext)
-	res := alg.res
-	res.Matching = out.Matching
-	res.Weight = out.Weight
-	res.DualObjective = out.DualObjective
-	res.Lambda = out.Lambda
-	res.Stats.SamplingRounds = out.Rounds
-	res.Stats.Passes = out.Passes
-	res.Stats.PeakWords = out.PeakWords
-	res.Stats.EarlyStopped = out.EarlyStopped
-	return res, err
+	return s.Solve(ctx, src, ext, opt.Warm)
 }
 
 // dualPrimal is the paper's dual-primal solver (Algorithms 2/4) as an
@@ -179,8 +184,11 @@ type dualPrimal struct {
 	opt  Options
 	prof Profile
 	res  *Result
+	warm *WarmDuals // per-run warm-start request (nil = cold)
 
-	// Instance-derived state, set by Init.
+	// Instance-derived state, set by Init. The dual state is retained
+	// across session runs (reuseOrNewState zeroes it in place when the
+	// instance shape repeats).
 	src        stream.Source
 	eps        float64
 	n, nl      int
@@ -195,19 +203,35 @@ type dualPrimal struct {
 	target     float64
 	mKept      float64
 	liveLevels []int
-	levelCount []int
+	levelCount []int // arena-backed
 
 	// The (use, level) job grid of one sampling round, fixed across
 	// rounds: job (q, slot) owns the deferred construction for use q at
 	// level liveLevels[slot].
 	jobs        []defJob
 	chunk       []chunkEdge
-	levelCursor []int
-	slotOf      []int
+	levelCursor []int // arena-backed
+	slotOf      []int // arena-backed
 	// Per-slot index lists into the chunk, rebuilt per dispatch (backing
 	// arrays reused): each (use, level) job walks only its own level's
 	// edges rather than rescanning the whole chunk.
 	bySlot [][]int32
+
+	// Round-loop scratch retained across rounds and runs: the (use,
+	// slot) grids of deferred constructions, the offline-solve union
+	// map and its sorted index list, the union subgraph, and the pool
+	// of union-find forests every construction draws from. All of it is
+	// rebuilt from scratch-equivalent state each round; retention only
+	// removes the per-round make/alloc traffic the allocation audit
+	// found here.
+	batches   [][]*sparsify.DeferredBuilder
+	batchBuf  []*sparsify.DeferredBuilder
+	defs      [][]*sparsify.Deferred
+	defBuf    []*sparsify.Deferred
+	union     map[int]graph.Edge
+	unionIdx  []int
+	sub       *graph.Graph
+	ufScratch *sparsify.Scratch
 
 	// Trajectory and best-so-far primal state.
 	lambda       float64
@@ -233,8 +257,39 @@ func newDualPrimal(opt Options) (*dualPrimal, error) {
 	if opt.Profile != nil {
 		prof = *opt.Profile
 	}
-	return &dualPrimal{opt: opt, prof: prof, res: &Result{}}, nil
+	return &dualPrimal{opt: opt, prof: prof, res: &Result{}, warm: opt.Warm}, nil
 }
+
+// Reset prepares the solver for another run (the engine.Algorithm
+// reuse contract): per-run results, duals-trajectory and convergence
+// state clear; the retained scratch — the dual state's backing table,
+// the job grids, the staging chunk, the union map/subgraph and the
+// union-find pool — stays warm for Init to reuse. The best-so-far
+// matching is released, not truncated: the previous run's Outcome owns
+// those slices.
+func (a *dualPrimal) Reset(engine.Params) {
+	a.res = &Result{}
+	a.warm = a.opt.Warm
+	a.src = nil
+	a.scheme = nil
+	a.rng = nil
+	a.liveLevels = a.liveLevels[:0]
+	a.jobs = a.jobs[:0]
+	a.levelCount, a.levelCursor, a.slotOf = nil, nil, nil // arena-backed; re-taken at Init
+	a.chunk = a.chunk[:0]
+	// Drop the previous run's construction pointers so their samples can
+	// be collected between runs; the grid backing stays.
+	clear(a.batchBuf)
+	clear(a.defBuf)
+	a.lambda, a.beta = 0, 0
+	a.bestHat, a.bestWeight = 0, 0
+	a.best = nil
+	a.earlyStopped = false
+}
+
+// SetWarm installs the warm-start request for the next run (nil =
+// cold). Sessions call it after Reset, before the drive.
+func (a *dualPrimal) SetWarm(w *WarmDuals) { a.warm = w }
 
 // bOf adapts the source's capacities to the dual-state callbacks.
 func (a *dualPrimal) bOf(v int) int { return a.src.B(v) }
@@ -277,7 +332,7 @@ func (a *dualPrimal) Init(_ context.Context, run *engine.Run, src stream.Source)
 	// populated levels define the per-level streams of the initial
 	// solution and the (use, level) sparsifier grid; the counts fix each
 	// construction's subsampling depth.
-	a.levelCount = make([]int, a.nl)
+	a.levelCount = run.Arena().Ints(a.nl)
 	src.ForEach(func(_ int, e graph.Edge) bool {
 		if k, ok := scheme.Level(e.W); ok {
 			a.levelCount[k]++
@@ -294,11 +349,24 @@ func (a *dualPrimal) Init(_ context.Context, run *engine.Run, src stream.Source)
 		return err
 	}
 
-	// ---- Initial solution (Lemmas 12, 20, 21) ----
-	a.state = newDualState(scheme, a.n, a.prof.ZPruneRel)
-	initRounds := buildInitialSolution(src, a.liveLevels, scheme, a.prof, a.eps, a.opt.P,
-		a.rng.Split(1), run.Acct, a.state, a.workers)
-	a.res.Stats.InitRounds = initRounds
+	// ---- Initial solution (Lemmas 12, 20, 21) or warm start ----
+	a.state = reuseOrNewState(a.state, scheme, a.n, a.prof.ZPruneRel)
+	// The init-solution seed split is consumed on both paths so the
+	// per-round sampling seeds below stay aligned between warm and cold
+	// runs of the same configuration.
+	initRNG := a.rng.Split(1)
+	if a.warm.installable(a.n, a.eps, scheme) {
+		// Warm start: install the prior solution's duals in place of the
+		// initial solution. The certificate is unaffected — λ and the
+		// objective are re-evaluated against this instance below and
+		// every round — only the trajectory's starting point moves.
+		a.warm.install(a.state)
+		a.res.Stats.WarmStarted = true
+	} else {
+		initRounds := buildInitialSolution(src, a.liveLevels, scheme, a.prof, a.eps, a.opt.P,
+			initRNG, run.Acct, a.state, a.workers)
+		a.res.Stats.InitRounds = initRounds
+	}
 	if err := run.Check(); err != nil {
 		return err
 	}
@@ -336,14 +404,62 @@ func (a *dualPrimal) Init(_ context.Context, run *engine.Run, src stream.Source)
 			a.jobs = append(a.jobs, defJob{q: q, slot: slot, k: k})
 		}
 	}
-	a.chunk = make([]chunkEdge, 0, solveChunkEdges)
-	a.levelCursor = make([]int, a.nl)
-	a.slotOf = make([]int, a.nl)
+	if a.chunk == nil {
+		a.chunk = make([]chunkEdge, 0, solveChunkEdges)
+	}
+	a.levelCursor = run.Arena().Ints(a.nl)
+	a.slotOf = run.Arena().Ints(a.nl)
 	for slot, k := range a.liveLevels {
 		a.slotOf[k] = slot
 	}
-	a.bySlot = make([][]int32, len(a.liveLevels))
+	a.bySlot = resizeRows(a.bySlot, len(a.liveLevels))
+
+	// Round-loop scratch, sized once per run from the (use, level) grid
+	// and the instance; a session's next run finds it warm.
+	a.batches, a.batchBuf = grid(a.batches, a.batchBuf, a.tUses, len(a.liveLevels))
+	a.defs, a.defBuf = grid(a.defs, a.defBuf, a.tUses, len(a.liveLevels))
+	if a.union == nil {
+		a.union = make(map[int]graph.Edge)
+	}
+	if a.sub == nil || a.sub.N() != a.n {
+		a.sub = graph.New(a.n)
+	}
+	if a.ufScratch == nil || a.ufScratch.N() != a.n {
+		a.ufScratch = sparsify.NewScratch(a.n)
+	}
 	return nil
+}
+
+// resizeRows reuses a slice-of-slices spine: the length becomes n, the
+// surviving rows keep their backing arrays (callers truncate them with
+// [:0] before refilling).
+func resizeRows[T any](rows [][]T, n int) [][]T {
+	for len(rows) < n {
+		rows = append(rows, nil)
+	}
+	return rows[:n]
+}
+
+// grid carves an r×c grid of row views out of one flat buffer, reusing
+// both allocations across runs. Stale entries from a previous round or
+// run are left in place — every (row, col) cell is overwritten before
+// it is read in each round — except that Reset clears the buffer so
+// retired constructions do not outlive their run.
+func grid[T any](rows [][]T, buf []T, r, c int) ([][]T, []T) {
+	if cap(buf) >= r*c {
+		buf = buf[:r*c]
+	} else {
+		buf = make([]T, r*c)
+	}
+	if cap(rows) >= r {
+		rows = rows[:r]
+	} else {
+		rows = make([][]T, r)
+	}
+	for i := 0; i < r; i++ {
+		rows[i] = buf[i*c : (i+1)*c : (i+1)*c]
+	}
+	return rows, buf
 }
 
 // Round runs one sampling round, or reports convergence. For ε >= 1/3
@@ -395,19 +511,18 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 	// concurrently, each slotted at its (q, level) position. Nothing
 	// of size m is ever materialized: the staging chunk is constant,
 	// the constructions hold only their samples.
-	batches := make([][]*sparsify.DeferredBuilder, a.tUses)
 	for q := 0; q < a.tUses; q++ {
-		batches[q] = make([]*sparsify.DeferredBuilder, len(a.liveLevels))
 		for slot, k := range a.liveLevels {
 			b, berr := sparsify.NewDeferredBuilder(a.n, a.levelCount[k], a.gammaChi, sparsify.Config{
-				Xi:   a.prof.SparsifierXi,
-				K:    a.prof.SparsifierK,
-				Seed: a.rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
+				Xi:      a.prof.SparsifierXi,
+				K:       a.prof.SparsifierK,
+				Seed:    a.rng.Split(uint64(round*1000 + q*100 + k)).Uint64(),
+				Scratch: a.ufScratch,
 			})
 			if berr != nil {
 				return false, berr
 			}
-			batches[q][slot] = b
+			a.batches[q][slot] = b
 		}
 	}
 	dispatch := func(buf []chunkEdge) {
@@ -430,7 +545,7 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 		}
 		parallel.Run(a.workers, len(a.jobs), func(ji int) {
 			job := a.jobs[ji]
-			b := batches[job.q][job.slot]
+			b := a.batches[job.q][job.slot]
 			for _, i := range a.bySlot[job.slot] {
 				ce := &buf[i]
 				b.Add(ce.local, ce.u, ce.v, ce.w, ce.orig, ce.sigma)
@@ -464,17 +579,16 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 	a.chunk = a.chunk[:0]
 	acct.Free(solveChunkEdges)
 	// Seal the constructions (the criticalLevel scans fan out over
-	// the job grid and merge in job order).
-	flat := parallel.Map(a.workers, len(a.jobs), func(ji int) *sparsify.Deferred {
-		return batches[a.jobs[ji].q][a.jobs[ji].slot].Finish()
+	// the job grid, each result landing in its own index-keyed slot —
+	// defBuf is the flat backing of the defs grid and job ji owns cell
+	// (q, slot) = (ji/L, ji%L) — so the merge order is job order for any
+	// worker count). Finish also hands every construction's forests back
+	// to the pool.
+	parallel.Run(a.workers, len(a.jobs), func(ji int) {
+		a.defBuf[ji] = a.batches[a.jobs[ji].q][a.jobs[ji].slot].Finish()
 	})
-	defs := make([][]*sparsify.Deferred, a.tUses)
 	sampledTotal := 0
-	for ji, d := range flat {
-		if defs[a.jobs[ji].q] == nil {
-			defs[a.jobs[ji].q] = make([]*sparsify.Deferred, len(a.liveLevels))
-		}
-		defs[a.jobs[ji].q][a.jobs[ji].slot] = d
+	for _, d := range a.defBuf {
 		sampledTotal += d.Size()
 	}
 	acct.Alloc(sampledTotal)
@@ -488,29 +602,32 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 	// Offline solve on the union of sampled edges (Algorithm 2 step
 	// 5); raise β on improvement (step 6). The stored Items carry
 	// endpoints and original weights, so the union subgraph is built
-	// from the samples alone — no lookback into the source.
-	union := map[int]graph.Edge{}
-	for q := range defs {
-		for _, d := range defs[q] {
+	// from the samples alone — no lookback into the source. The union
+	// map, index list and subgraph are retained scratch, rebuilt in
+	// place each round.
+	clear(a.union)
+	for q := range a.defs {
+		for _, d := range a.defs[q] {
 			for _, it := range d.Items() {
-				union[it.Orig] = graph.Edge{U: it.U, V: it.V, W: it.W}
+				a.union[it.Orig] = graph.Edge{U: it.U, V: it.V, W: it.W}
 			}
 		}
 	}
-	unionIdx := make([]int, 0, len(union))
-	for idx := range union {
-		unionIdx = append(unionIdx, idx)
+	a.unionIdx = a.unionIdx[:0]
+	for idx := range a.union {
+		a.unionIdx = append(a.unionIdx, idx)
 	}
-	sort.Ints(unionIdx)
-	a.res.Stats.UnionSizes = append(a.res.Stats.UnionSizes, len(unionIdx))
-	sub := graph.New(a.n)
+	sort.Ints(a.unionIdx)
+	a.res.Stats.UnionSizes = append(a.res.Stats.UnionSizes, len(a.unionIdx))
+	sub := a.sub
+	sub.Clear()
 	for v := 0; v < a.n; v++ {
 		if b := src.B(v); b != 1 {
 			sub.SetB(v, b)
 		}
 	}
-	for _, idx := range unionIdx {
-		e := union[idx]
+	for _, idx := range a.unionIdx {
+		e := a.union[idx]
 		sub.MustAddEdge(int(e.U), int(e.V), e.W)
 	}
 	cand, _ := matching.OfflineB(sub, matching.OfflineConfig{ExactLimit: a.prof.OfflineExactLimit})
@@ -533,7 +650,7 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 		remap := &matching.Matching{Mult: []int{}}
 		w := 0.0
 		for ci, si := range cand.EdgeIdx {
-			remap.EdgeIdx = append(remap.EdgeIdx, unionIdx[si])
+			remap.EdgeIdx = append(remap.EdgeIdx, a.unionIdx[si])
 			mult := 1
 			if cand.Mult != nil {
 				mult = cand.Mult[ci]
@@ -551,7 +668,7 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 	// Sequential refinement and use of the t sparsifiers (the right
 	// half of Figure 1: no further input access).
 	for q := 0; q < a.tUses; q++ {
-		support := refineBatch(defs[q], a.liveLevels, scheme, state, alpha, a.lambda, a.prof.StaleRefinement, a.workers)
+		support := refineBatch(a.defs[q], a.liveLevels, scheme, state, alpha, a.lambda, a.prof.StaleRefinement, a.workers)
 		a.res.Stats.OracleUses++
 		mini := runMiniOracle(support, a.beta, eps, a.prof, a.bOf, wHat, a.nl, a.maxNorm)
 		a.res.Stats.MicroCalls += mini.microCalls

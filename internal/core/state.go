@@ -18,7 +18,8 @@ type dualState struct {
 	nl     int
 
 	scale float64     // stored values × scale = actual values
-	xik   [][]float64 // [vertex][level]
+	xflat []float64   // n×nl backing of xik
+	xik   [][]float64 // [vertex][level] views into xflat
 	zsets []zset
 
 	vertexSets [][]int32        // per vertex: indices into zsets
@@ -40,15 +41,39 @@ func newDualState(scheme *levels.Scheme, n int, zPruneRel float64) *dualState {
 		n:          n,
 		nl:         nl,
 		scale:      1,
+		xflat:      make([]float64, n*nl),
 		xik:        make([][]float64, n),
 		vertexSets: make([][]int32, n),
 		zIndex:     make(map[uint64]int32),
 		zPruneRel:  zPruneRel,
 	}
 	for v := range st.xik {
-		st.xik[v] = make([]float64, nl)
+		st.xik[v] = st.xflat[v*nl : (v+1)*nl : (v+1)*nl]
 	}
 	return st
+}
+
+// reuseOrNewState returns a state ready for a fresh run: the retained
+// one zeroed in place when its (n, levels) shape matches the new
+// scheme, a newly allocated one otherwise. A reused state is
+// indistinguishable from a fresh one — every x value zeroed, z list
+// empty, scale 1 — it merely keeps the n×nl backing table, the
+// per-vertex index rows and the fingerprint map warm for the session's
+// next run.
+func reuseOrNewState(prev *dualState, scheme *levels.Scheme, n int, zPruneRel float64) *dualState {
+	if prev == nil || prev.n != n || prev.nl != scheme.NumLevels() {
+		return newDualState(scheme, n, zPruneRel)
+	}
+	prev.scheme = scheme
+	prev.zPruneRel = zPruneRel
+	prev.scale = 1
+	clear(prev.xflat)
+	for v := range prev.vertexSets {
+		prev.vertexSets[v] = prev.vertexSets[v][:0]
+	}
+	prev.zsets = prev.zsets[:0]
+	clear(prev.zIndex)
+	return prev
 }
 
 // XI returns the actual x_i(k).
@@ -211,27 +236,33 @@ func (st *dualState) Average(sigma float64, ans *oracleAnswer) {
 		st.xik[xe.v][xe.k] += xe.val * inv
 	}
 	for _, ze := range ans.zEntries {
-		// Identical (U, ℓ) duals accumulate into one set — this keeps the
-		// state size at the number of *distinct* priced odd sets rather
-		// than the number of oracle answers.
-		fp := zFingerprint(ze.members, ze.level)
-		if idx, ok := st.zIndex[fp]; ok && sameSet(st.zsets[idx].members, ze.members) && st.zsets[idx].level == ze.level {
-			st.zsets[idx].val += ze.val * inv
-			continue
-		}
-		idx := int32(len(st.zsets))
-		st.zsets = append(st.zsets, zset{
-			members: ze.members,
-			level:   ze.level,
-			val:     ze.val * inv,
-		})
-		st.zIndex[fp] = idx
-		for _, m := range ze.members {
-			st.vertexSets[m] = append(st.vertexSets[m], idx)
-		}
+		st.addZSet(ze.members, ze.level, ze.val*inv)
 	}
 	if st.zPruneRel > 0 && len(st.zsets) > 4*st.n {
 		st.prune()
+	}
+}
+
+// addZSet accumulates one odd-set dual (stored value, i.e. already
+// divided by the current scale) into the deduplicated z list: identical
+// (U, ℓ) duals accumulate into one set — this keeps the state size at
+// the number of *distinct* priced odd sets rather than the number of
+// oracle answers.
+func (st *dualState) addZSet(members []int32, level int, val float64) {
+	fp := zFingerprint(members, level)
+	if idx, ok := st.zIndex[fp]; ok && sameSet(st.zsets[idx].members, members) && st.zsets[idx].level == level {
+		st.zsets[idx].val += val
+		return
+	}
+	idx := int32(len(st.zsets))
+	st.zsets = append(st.zsets, zset{
+		members: members,
+		level:   level,
+		val:     val,
+	})
+	st.zIndex[fp] = idx
+	for _, m := range members {
+		st.vertexSets[m] = append(st.vertexSets[m], idx)
 	}
 }
 

@@ -91,6 +91,9 @@ func TestConformanceEveryRegisteredAlgorithm(t *testing.T) {
 			t.Run("cancellation-mid-pass", func(t *testing.T) {
 				testCancellation(t, g, info.Name)
 			})
+			t.Run("session-reuse", func(t *testing.T) {
+				testSessionReuse(t, g, info.Name, base)
+			})
 		})
 	}
 }
@@ -218,6 +221,64 @@ func testBudgetTrips(t *testing.T, g *graph.Graph, name string, base *engine.Out
 	if tripped == 0 {
 		t.Error("no axis was trippable — conformance cannot exercise budget semantics")
 	}
+}
+
+// testSessionReuse is the reuse clause of the conformance suite:
+// solve → Reset → solve through one Session must be bit-identical to
+// two cold solves — including every resource meter, so retained scratch
+// can never surface as live words in the second solve's PeakWords — and
+// the second solve must not mutate the first solve's returned Outcome.
+// A third solve on a different-shape instance checks that reuse does
+// not pin a session to one instance shape.
+func testSessionReuse(t *testing.T, g *graph.Graph, name string, cold *engine.Outcome) {
+	sess, err := engine.NewSession(name, conformanceParams)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	first, err := sess.Solve(context.Background(), stream.NewEdgeStream(g), engine.Extensions{})
+	if err != nil {
+		t.Fatalf("first session solve: %v", err)
+	}
+	assertSameOutcome(t, cold, first)
+	// Snapshot the first outcome's matching, then solve again: the
+	// second run must equal a cold run AND must not clobber the
+	// snapshot (retained scratch must not alias returned results).
+	firstIdx := append([]int(nil), first.Matching.EdgeIdx...)
+	firstMult := append([]int(nil), first.Matching.Mult...)
+	second, err := sess.Solve(context.Background(), stream.NewEdgeStream(g), engine.Extensions{})
+	if err != nil {
+		t.Fatalf("second session solve: %v", err)
+	}
+	assertSameOutcome(t, cold, second)
+	if sess.Runs() != 2 {
+		t.Errorf("session reports %d runs, want 2", sess.Runs())
+	}
+	if !equalInts(first.Matching.EdgeIdx, firstIdx) || !equalInts(first.Matching.Mult, firstMult) {
+		t.Error("second solve mutated the first solve's returned matching")
+	}
+	// Different shape through the same session.
+	g2 := graph.Bipartite(12, 12, 60, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 8}, 9)
+	cold2, err := drive(t, name, context.Background(), stream.NewEdgeStream(g2), engine.Extensions{})
+	if err != nil {
+		t.Fatalf("cold solve on second shape: %v", err)
+	}
+	third, err := sess.Solve(context.Background(), stream.NewEdgeStream(g2), engine.Extensions{})
+	if err != nil {
+		t.Fatalf("session solve on second shape: %v", err)
+	}
+	assertSameOutcome(t, cold2, third)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // cancelAfterSource delegates to an inner source but cancels the given

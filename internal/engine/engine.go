@@ -41,10 +41,25 @@ import (
 //     must be safe to call after a partial Init or mid-loop abort — on
 //     cancellation or a budget trip the driver still calls Finish, and
 //     "best so far" may legitimately be an empty matching.
+//   - Reset prepares the same instance for another driven run: it clears
+//     every per-run field (results, duals, convergence flags) while
+//     *retaining* reusable scratch capacity, and absorbs the session's
+//     Params again (a factory-fresh instance and a Reset one must be
+//     indistinguishable to Init). Two contracts follow. Identity: solve →
+//     Reset → solve is bit-identical to two cold solves, including every
+//     resource meter — retained capacity must never surface as live words.
+//     No aliasing: state reachable from a previously returned Outcome
+//     (the matching's index slices above all) must not be mutated by the
+//     next run; scratch that would alias a result is released, not
+//     retained. The instance size n is not a Reset input — it is
+//     rediscovered from the Source at Init, so one session can serve
+//     instances of different shapes (reuse simply pays allocation again
+//     when the shape grows).
 type Algorithm interface {
 	Init(ctx context.Context, run *Run, src stream.Source) error
 	Round(ctx context.Context, run *Run) (done bool, err error)
 	Finish(run *Run) (*matching.Matching, Extras)
+	Reset(p Params)
 }
 
 // Run owns the resource machinery of one driven solve: the space
@@ -63,6 +78,7 @@ type Run struct {
 
 	src      stream.Source
 	ctx      context.Context
+	arena    *Arena
 	budget   Budget
 	observer func(RoundEvent)
 	passes0  int
@@ -72,6 +88,14 @@ type Run struct {
 // Source returns the stream the run reads (already wrapped for prompt
 // cancellation when the context is cancellable).
 func (r *Run) Source() stream.Source { return r.src }
+
+// Arena returns the run's scratch arena: session-retained capacity when
+// the run was started through a Session, a throwaway arena otherwise.
+// Algorithms draw working buffers from it instead of make so a reused
+// session converges to near-zero allocation; the buffers come back
+// logically fresh either way, so taking scratch from the arena never
+// changes results.
+func (r *Run) Arena() *Arena { return r.arena }
 
 // Rounds returns how many rounds have begun (1-based inside a round's
 // body, equal to the completed count between rounds).
@@ -166,6 +190,15 @@ type Outcome struct {
 // runs surrender the certificate: Lambda is zeroed and only the primal
 // matching is the contract. The Outcome is non-nil on every path.
 func Drive(ctx context.Context, alg Algorithm, src stream.Source, ext Extensions) (*Outcome, error) {
+	return DriveArena(ctx, alg, src, ext, NewArena())
+}
+
+// DriveArena is Drive with the scratch arena supplied by the caller —
+// the session entry point (engine.Session for registry algorithms,
+// core's dual-primal session for the rich-result path). The arena
+// changes where working buffers' backing memory comes from and nothing
+// else.
+func DriveArena(ctx context.Context, alg Algorithm, src stream.Source, ext Extensions, arena *Arena) (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -183,6 +216,7 @@ func Drive(ctx context.Context, alg Algorithm, src stream.Source, ext Extensions
 		Acct:     stream.NewSpaceAccountant(),
 		src:      src,
 		ctx:      ctx,
+		arena:    arena,
 		budget:   ext.Budget,
 		observer: ext.Observer,
 		passes0:  src.Passes(),

@@ -102,6 +102,21 @@ func (g *Graph) MustAddEdge(u, v int, w float64) {
 	}
 }
 
+// Clear empties the graph in place, keeping the vertex count and every
+// backing allocation: the edge list truncates, capacities return to all
+// ones, and the lazy adjacency is invalidated. A cleared graph is
+// indistinguishable from New(g.N()); callers that rebuild a transient
+// subgraph every round reuse one Graph instead of allocating one.
+func (g *Graph) Clear() {
+	g.edges = g.edges[:0]
+	if g.b != nil {
+		for i := range g.b {
+			g.b[i] = 1
+		}
+	}
+	g.adjOnce = false
+}
+
 // SetB sets the capacity of vertex v to b (b >= 1).
 func (g *Graph) SetB(v, b int) {
 	if b < 1 {
@@ -179,11 +194,19 @@ func (g *Graph) buildAdj() {
 	if g.adjOnce {
 		return
 	}
-	g.adjHead = make([]int32, g.n)
+	if cap(g.adjHead) >= g.n {
+		g.adjHead = g.adjHead[:g.n]
+	} else {
+		g.adjHead = make([]int32, g.n)
+	}
 	for i := range g.adjHead {
 		g.adjHead[i] = -1
 	}
-	g.adjNext = make([]int32, 2*len(g.edges))
+	if cap(g.adjNext) >= 2*len(g.edges) {
+		g.adjNext = g.adjNext[:2*len(g.edges)]
+	} else {
+		g.adjNext = make([]int32, 2*len(g.edges))
+	}
 	for i, e := range g.edges {
 		s0, s1 := int32(2*i), int32(2*i+1)
 		g.adjNext[s0] = g.adjHead[e.U]

@@ -43,6 +43,24 @@ func NewGreedyState(n int) *GreedyState {
 	return &GreedyState{used: make([]bool, n), m: &matching.Matching{}}
 }
 
+// NewGreedyStateIn is NewGreedyState reusing buf for the matched-vertex
+// bits when it is large enough (it is zeroed either way). The matched
+// edge list is always fresh — callers hand it out as a result, so it
+// must never be recycled — which makes this the allocation-shy
+// constructor for sessions that run many greedy passes: the O(n) bit
+// table is the state's dominant allocation and the only reusable one.
+// Returns the state and the (possibly grown) buffer for the caller to
+// retain.
+func NewGreedyStateIn(n int, buf []bool) (*GreedyState, []bool) {
+	if cap(buf) >= n {
+		buf = buf[:n]
+		clear(buf)
+	} else {
+		buf = make([]bool, n)
+	}
+	return &GreedyState{used: buf, m: &matching.Matching{}}, buf
+}
+
 // Offer considers one stream edge and reports whether it was taken
 // (both endpoints free).
 func (g *GreedyState) Offer(idx int, e graph.Edge) bool {

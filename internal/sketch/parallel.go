@@ -35,6 +35,23 @@ func (spec *IncidenceSpec) NewBankParallel(workers int) *Bank {
 	return b
 }
 
+// Reset zeroes every sketch column in place, sharded by vertex range
+// like NewBankParallel, so a bank can be rebuilt for a new edge set
+// without reallocating its Õ(n·polylog) words of column state. This is
+// the reuse answer to the allocation audit of the bank constructor: the
+// per-(vertex, repetition) L0 allocations dominate a bank build, and
+// they are exactly what Reset retains. A Reset bank is indistinguishable
+// from a fresh NewBankParallel bank of the same spec.
+func (b *Bank) Reset(workers int) {
+	parallel.ForEachShard(workers, b.spec.n, func(_ int, sh parallel.Range) {
+		for v := sh.Lo; v < sh.Hi; v++ {
+			for r := 0; r < b.spec.reps; r++ {
+				b.sketches[r][v].Reset()
+			}
+		}
+	})
+}
+
 // AddEdges inserts every edge into the bank with the work sharded by
 // vertex range across workers. A single O(m) scan buckets the two
 // endpoint updates of each edge by owning shard; workers then apply only

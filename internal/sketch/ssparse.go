@@ -57,6 +57,15 @@ func (spec *SSparseSpec) NewSSparse() *SSparse {
 // Words returns the storage footprint in 64-bit words.
 func (sk *SSparse) Words() int { return 4 * len(sk.cells) }
 
+// Reset zeroes the sketch in place — every cell back to the empty
+// OneSparse of the spec's fingerprint base — so the allocation can be
+// reused for a fresh implicit vector.
+func (sk *SSparse) Reset() {
+	for i := range sk.cells {
+		sk.cells[i] = NewOneSparse(sk.spec.z)
+	}
+}
+
 // Update adds delta at key.
 func (sk *SSparse) Update(key uint64, delta int64) {
 	spec := sk.spec

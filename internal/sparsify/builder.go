@@ -83,7 +83,9 @@ func (b *DeferredBuilder) Add(localIdx int, u, v int32, w float64, orig int, sig
 // Finish emits the Deferred. The per-class item streams concatenate in
 // increasing class order — the order NewDeferred's sorted bucketByClass
 // produces — so the structure is identical to the array-fed construction
-// on the same input.
+// on the same input. When the builder was configured with a Scratch,
+// Finish releases every forest back to the pool on the way out: the
+// emitted Deferred carries only its Items and needs no forest state.
 func (b *DeferredBuilder) Finish() *Deferred {
 	keys := make([]int, 0, len(b.classes))
 	for cl := range b.classes {
@@ -121,6 +123,7 @@ func (b *DeferredBuilder) Finish() *Deferred {
 				})
 			}
 		}
+		sub.release()
 	}
 	return d
 }

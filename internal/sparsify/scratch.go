@@ -1,0 +1,66 @@
+package sparsify
+
+import (
+	"sync"
+
+	"repro/internal/unionfind"
+)
+
+// Scratch is a reusable pool of union-find forests for the leveled
+// sparsifier constructions. The lazy forest allocation of construction
+// (one unionfind.New(n) per forest, per level, per weight class, per
+// (use, level) job, per sampling round) is the dominant per-round
+// garbage of the dual-primal solver's sampling pass; a Scratch lets
+// every construction of a solve — and, through a session, every solve
+// of a lifetime — draw Reset forests from one free list instead. A
+// Reset forest is indistinguishable from a fresh one (n singleton sets,
+// zero ranks), so wiring a Scratch through Config never changes any
+// construction's output.
+//
+// Get and Put are safe for concurrent use: the per-class and per-job
+// constructions of one sampling round run on the worker pool and share
+// the solve's Scratch.
+type Scratch struct {
+	n    int
+	mu   sync.Mutex
+	free []*unionfind.UF
+}
+
+// NewScratch returns an empty pool of forests over n elements.
+func NewScratch(n int) *Scratch { return &Scratch{n: n} }
+
+// N returns the element count the pooled forests are sized for.
+func (s *Scratch) N() int { return s.n }
+
+// Retained returns how many forests the pool currently holds.
+func (s *Scratch) Retained() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}
+
+// Get returns a forest of n singleton sets: a pooled one Reset in
+// place, or a fresh one when the pool is empty.
+func (s *Scratch) Get() *unionfind.UF {
+	s.mu.Lock()
+	var uf *unionfind.UF
+	if last := len(s.free) - 1; last >= 0 {
+		uf = s.free[last]
+		s.free = s.free[:last]
+	}
+	s.mu.Unlock()
+	if uf == nil {
+		return unionfind.New(s.n)
+	}
+	uf.Reset()
+	return uf
+}
+
+// Put returns forests to the pool. Only forests obtained from this
+// Scratch (or sized exactly n) may come back; the caller must not use
+// them afterwards.
+func (s *Scratch) Put(ufs ...*unionfind.UF) {
+	s.mu.Lock()
+	s.free = append(s.free, ufs...)
+	s.mu.Unlock()
+}

@@ -43,6 +43,12 @@ type Config struct {
 	// per-class randomness is seeded from the class id, and classes merge
 	// in increasing class order.
 	Workers int
+	// Scratch, when non-nil, supplies the constructions' union-find
+	// forests from a reusable pool sized for the same vertex count
+	// (callers releasing their constructions hand the forests back). A
+	// Reset forest equals a fresh one, so results are unchanged; only
+	// allocation traffic is.
+	Scratch *Scratch
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -157,7 +163,7 @@ func (c *construction) process(edgeIdx int, u, v int32) bool {
 			continue
 		}
 		if len(forests) < c.cfg.K {
-			nf := unionfind.New(c.n)
+			nf := c.newForest()
 			nf.Union(int(u), int(v))
 			c.ufs[i] = append(forests, nf)
 			c.stored[i] = append(c.stored[i], edgeIdx)
@@ -165,6 +171,29 @@ func (c *construction) process(edgeIdx int, u, v int32) bool {
 		}
 	}
 	return storedAny
+}
+
+// newForest allocates one spanning-forest structure, from the pool when
+// the construction was configured with one.
+func (c *construction) newForest() *unionfind.UF {
+	if s := c.cfg.Scratch; s != nil && s.n == c.n {
+		return s.Get()
+	}
+	return unionfind.New(c.n)
+}
+
+// release hands every allocated forest back to the configured pool.
+// Call only once the construction is fully consumed (criticalLevel
+// reads the forests during item emission).
+func (c *construction) release() {
+	s := c.cfg.Scratch
+	if s == nil || s.n != c.n {
+		return
+	}
+	for i, forests := range c.ufs {
+		s.Put(forests...)
+		c.ufs[i] = nil
+	}
 }
 
 // criticalLevel returns i′(e): the smallest level at which the endpoints

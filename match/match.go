@@ -46,12 +46,24 @@
 // substrate computes the matching:
 //
 //	res, err := match.Solve(ctx, src, match.WithAlgorithm("greedy"))
+//
+// A Solver is also a reusable session: repeated Solve calls reuse the
+// previous solve's working memory with bit-identical results, and
+// WithInitialDuals warm-starts a solve from a prior solution so
+// repeats on the same or drifting instances converge in fewer rounds.
+// Pool runs a fixed-size fleet of sessions behind a FIFO queue for
+// many instances in flight:
+//
+//	pool, _ := match.NewPool(4, match.WithEps(0.3))
+//	defer pool.Close()
+//	r := <-pool.Submit(ctx, src) // r.Result, r.Err
 package match
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -81,15 +93,37 @@ const (
 // error New returns.
 var ErrInvalidOption = errors.New("match: invalid option")
 
-// Solver is a configured dual-primal solve. It is immutable after New
-// and safe for concurrent Solve calls (each run keeps its own state; the
-// configured Observer is shared and must tolerate that if solves are
-// concurrent).
+// Solver is a configured solve. Its configuration is immutable after
+// New; internally it caches one reusable solve *session* (the algorithm
+// instance plus its scratch arena), so calling Solve repeatedly on one
+// Solver reuses working memory instead of rebuilding every structure —
+// near-zero allocation on same-shape instances, with results
+// bit-identical to a fresh Solver's (pinned by the engine conformance
+// suite and the equivalence corpus).
+//
+// A Solver remains safe for concurrent Solve calls: the cached session
+// serves one solve at a time and concurrent callers transparently fall
+// back to a fresh throwaway session (same results, cold allocation
+// cost). For a fleet of sessions serving many instances concurrently,
+// use a Pool. The configured Observer is shared across concurrent
+// solves and must tolerate that.
 type Solver struct {
 	opt    core.Options
 	budget Budget
 	obs    Observer
 	algo   string
+	warm   *core.WarmDuals
+	cache  *sessionCache
+}
+
+// sessionCache holds the Solver's reusable sessions behind a mutex.
+// Acquisition uses TryLock: the point of the cache is saved allocation,
+// never serialization, so a busy cache yields a fresh session instead
+// of a wait.
+type sessionCache struct {
+	mu   sync.Mutex
+	core *core.Session
+	eng  *engine.Session
 }
 
 // New builds a Solver from functional options; unspecified knobs take
@@ -100,29 +134,38 @@ func New(opts ...Option) (*Solver, error) {
 		Eps:  DefaultEps,
 		P:    DefaultSpaceExponent,
 		Seed: DefaultSeed,
-	}, algo: DefaultAlgorithm}
+	}, algo: DefaultAlgorithm, cache: &sessionCache{}}
 	for _, o := range opts {
 		o(s)
 	}
-	if !(s.opt.Eps > 0) || s.opt.Eps >= 0.5 {
-		return nil, fmt.Errorf("%w: eps %v outside (0, 0.5)", ErrInvalidOption, s.opt.Eps)
-	}
-	if !(s.opt.P > 1) {
-		return nil, fmt.Errorf("%w: space exponent %v must be > 1", ErrInvalidOption, s.opt.P)
-	}
-	if s.opt.Workers < 0 {
-		return nil, fmt.Errorf("%w: workers %d must be >= 0", ErrInvalidOption, s.opt.Workers)
-	}
-	if s.opt.MaxRounds < 0 {
-		return nil, fmt.Errorf("%w: max rounds %d must be >= 0", ErrInvalidOption, s.opt.MaxRounds)
-	}
-	if s.budget.Passes < 0 || s.budget.Rounds < 0 || s.budget.SpaceWords < 0 {
-		return nil, fmt.Errorf("%w: budget axes must be >= 0 (0 = unlimited), got %+v", ErrInvalidOption, s.budget)
-	}
-	if _, _, ok := engine.Lookup(s.algo); !ok {
-		return nil, fmt.Errorf("%w: unknown algorithm %q (registered: %s)", ErrInvalidOption, s.algo, engine.Names())
+	if err := s.validate(); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// validate checks the full configuration; every failure wraps
+// ErrInvalidOption.
+func (s *Solver) validate() error {
+	if !(s.opt.Eps > 0) || s.opt.Eps >= 0.5 {
+		return fmt.Errorf("%w: eps %v outside (0, 0.5)", ErrInvalidOption, s.opt.Eps)
+	}
+	if !(s.opt.P > 1) {
+		return fmt.Errorf("%w: space exponent %v must be > 1", ErrInvalidOption, s.opt.P)
+	}
+	if s.opt.Workers < 0 {
+		return fmt.Errorf("%w: workers %d must be >= 0", ErrInvalidOption, s.opt.Workers)
+	}
+	if s.opt.MaxRounds < 0 {
+		return fmt.Errorf("%w: max rounds %d must be >= 0", ErrInvalidOption, s.opt.MaxRounds)
+	}
+	if s.budget.Passes < 0 || s.budget.Rounds < 0 || s.budget.SpaceWords < 0 {
+		return fmt.Errorf("%w: budget axes must be >= 0 (0 = unlimited), got %+v", ErrInvalidOption, s.budget)
+	}
+	if _, _, ok := engine.Lookup(s.algo); !ok {
+		return fmt.Errorf("%w: unknown algorithm %q (registered: %s)", ErrInvalidOption, s.algo, engine.Names())
+	}
+	return nil
 }
 
 // Eps returns the configured accuracy target.
@@ -155,36 +198,113 @@ func (s *Solver) Algorithm() string { return s.algo }
 //
 // The Result is a pure function of (edge sequence, options): every
 // backend serving the same sequence returns a bit-identical Result for
-// any worker count.
-func (s *Solver) Solve(ctx context.Context, src Source) (*Result, error) {
+// any worker count — and a session-reused solve is bit-identical to a
+// cold one.
+//
+// Per-solve options may be appended: they apply to this call only, on
+// top of the Solver's configuration. Extras that leave the
+// session-defining knobs untouched (algorithm, eps, space exponent,
+// seed, workers, max rounds, profile) — a per-job Budget, an Observer,
+// WithInitialDuals — still reuse the cached session; extras that change
+// them run on a fresh session for the call.
+func (s *Solver) Solve(ctx context.Context, src Source, extra ...Option) (*Result, error) {
+	run := s
+	if len(extra) > 0 {
+		c := *s
+		for _, o := range extra {
+			o(&c)
+		}
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		run = &c
+	}
 	var hook func(core.RoundEvent)
-	if s.obs != nil {
-		obs := s.obs
+	if run.obs != nil {
+		obs := run.obs
 		hook = func(ev core.RoundEvent) { obs.OnRound(ev) }
 	}
-	ext := engine.Extensions{Budget: s.budget, Observer: hook}
-	if s.algo == DefaultAlgorithm {
-		// The dual-primal path keeps its dedicated entry point so the
+	ext := engine.Extensions{Budget: run.budget, Observer: hook}
+	// The cached session is usable when the session-defining
+	// configuration is the base Solver's (budget, observer and warm
+	// duals are per-run inputs, not session state).
+	cacheable := run.algo == s.algo && run.opt == s.opt
+	if run.algo == DefaultAlgorithm {
+		// The dual-primal path keeps its dedicated session type so the
 		// full Options (including the constant-regime Profile) reach the
 		// solver and the rich per-substrate Stats survive; it runs under
-		// the same engine.Drive as every registry algorithm.
-		res, err := core.SolveWith(ctx, src, s.opt, ext)
+		// the same engine driver as every registry algorithm.
+		sess, release, err := s.acquireCore(run.opt, cacheable)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		res, err := sess.Solve(ctx, src, ext, run.warm)
 		if res == nil {
 			return nil, err
 		}
-		return fromCore(res, s.opt.Eps), err
+		return fromCore(res, run.opt.Eps), err
 	}
-	_, factory, _ := engine.Lookup(s.algo) // validated by New
-	alg, err := factory(engine.Params{Eps: s.opt.Eps, P: s.opt.P, Seed: s.opt.Seed,
-		Workers: s.opt.Workers, MaxRounds: s.opt.MaxRounds})
+	sess, release, err := s.acquireEngine(run.algo, run.params(), cacheable)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", s.algo, err)
+		return nil, err
 	}
-	out, err := engine.Drive(ctx, alg, src, ext)
+	defer release()
+	out, err := sess.Solve(ctx, src, ext)
 	if out == nil {
 		return nil, err
 	}
-	return fromOutcome(out, s.opt.Eps), err
+	return fromOutcome(out, run.opt.Eps), err
+}
+
+// params maps the Solver configuration onto the registry's
+// model-agnostic parameter set.
+func (s *Solver) params() engine.Params {
+	return engine.Params{Eps: s.opt.Eps, P: s.opt.P, Seed: s.opt.Seed,
+		Workers: s.opt.Workers, MaxRounds: s.opt.MaxRounds}
+}
+
+// acquireCore hands out the cached dual-primal session (creating it on
+// first use) when the configuration allows and no other solve holds it;
+// otherwise a fresh throwaway session. The release func must be called
+// once the solve is done.
+func (s *Solver) acquireCore(opt core.Options, cacheable bool) (*core.Session, func(), error) {
+	if cacheable && s.cache != nil && s.cache.mu.TryLock() {
+		if s.cache.core == nil {
+			sess, err := core.NewSession(opt)
+			if err != nil {
+				s.cache.mu.Unlock()
+				return nil, nil, err
+			}
+			s.cache.core = sess
+		}
+		return s.cache.core, s.cache.mu.Unlock, nil
+	}
+	sess, err := core.NewSession(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, func() {}, nil
+}
+
+// acquireEngine is acquireCore for registry algorithms.
+func (s *Solver) acquireEngine(algo string, p engine.Params, cacheable bool) (*engine.Session, func(), error) {
+	if cacheable && s.cache != nil && s.cache.mu.TryLock() {
+		if s.cache.eng == nil {
+			sess, err := engine.NewSession(algo, p)
+			if err != nil {
+				s.cache.mu.Unlock()
+				return nil, nil, err
+			}
+			s.cache.eng = sess
+		}
+		return s.cache.eng, s.cache.mu.Unlock, nil
+	}
+	sess, err := engine.NewSession(algo, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, func() {}, nil
 }
 
 // Solve is the one-shot convenience path — match.New plus Solver.Solve

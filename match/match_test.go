@@ -146,8 +146,14 @@ func TestResultJSONRoundtrip(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(*res, back) {
-		t.Errorf("JSON roundtrip drifted\nin:  %+v\nout: %+v", *res, back)
+	// The opaque warm-duals handle is deliberately outside the JSON
+	// surface; compare the serialized fields through a second marshal.
+	rawBack, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(rawBack) {
+		t.Errorf("JSON roundtrip drifted\nin:  %s\nout: %s", raw, rawBack)
 	}
 	// The baked-in ε survives the roundtrip, so the certified bound is
 	// reproducible from the serialized form alone.

@@ -65,3 +65,34 @@ func WithBudget(b Budget) Option {
 func WithObserver(o Observer) Option {
 	return func(s *Solver) { s.obs = o }
 }
+
+// WithInitialDuals requests a warm start from a prior solution: the
+// dual-primal solver seeds its λ/β trajectory from prev's final dual
+// state instead of building the initial solution from scratch, so
+// repeated solves on the same or slowly drifting instances converge in
+// fewer rounds and passes (observable per round through an Observer;
+// Stats.WarmStarted reports whether the seed was installed).
+//
+// Validity is checked at solve time: the snapshot must address the same
+// discretization (same vertex count, ε, maximum weight W* and total
+// capacity B — the quantities that fully determine the level scheme).
+// When it does not — or prev is nil, carries no duals, or came from a
+// different algorithm — the solve falls back to the certified cold
+// start; warm starting never fails a solve and never weakens the
+// certificate, because λ and the dual objective are re-evaluated
+// against the current instance every round regardless of where the
+// starting duals came from.
+//
+// Algorithms other than the dual-primal solver have no duals and ignore
+// the option. As a per-solve extra it composes with the cached session:
+// solver.Solve(ctx, src, match.WithInitialDuals(prev)) reuses the
+// session and warm-starts it.
+func WithInitialDuals(prev *Result) Option {
+	return func(s *Solver) {
+		if prev == nil {
+			s.warm = nil
+			return
+		}
+		s.warm = prev.warm
+	}
+}

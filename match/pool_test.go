@@ -1,0 +1,200 @@
+package match_test
+
+// match.Pool: correctness of the fleet (every job answered, results
+// identical to sequential solves), per-job budgets, FIFO fairness of
+// the queue, closed-pool semantics, and a cancellation-mid-drain
+// stress designed to run under -race (the CI race job executes this
+// package with the detector on).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/match"
+)
+
+func poolGraph(seed uint64) *graph.Graph {
+	return graph.GNM(40, 200, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 20}, seed)
+}
+
+// TestPoolMatchesSequential pins that a pool solve is the same solve:
+// every job's result is bit-identical to the one a lone Solver returns
+// for the same (instance, options).
+func TestPoolMatchesSequential(t *testing.T) {
+	opts := []match.Option{match.WithSeed(5), match.WithWorkers(1)}
+	pool, err := match.NewPool(3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	const jobs = 9
+	chans := make([]<-chan match.JobResult, jobs)
+	for j := 0; j < jobs; j++ {
+		chans[j] = pool.Submit(context.Background(), stream.NewEdgeStream(poolGraph(uint64(j%3))))
+	}
+	for j := 0; j < jobs; j++ {
+		got := <-chans[j]
+		if got.Err != nil {
+			t.Fatalf("job %d: %v", j, got.Err)
+		}
+		solver, err := match.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := solver.Solve(context.Background(), stream.NewEdgeStream(poolGraph(uint64(j%3))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "pool-job", want, got.Result)
+	}
+}
+
+// TestPoolPerJobBudget pins that Submit's extra options are per-job: a
+// budgeted job trips while its unbudgeted sibling completes.
+func TestPoolPerJobBudget(t *testing.T) {
+	pool, err := match.NewPool(2, match.WithSeed(5), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	g := poolGraph(7)
+	tight := pool.Submit(context.Background(), stream.NewEdgeStream(g),
+		match.WithBudget(match.Budget{Rounds: 1}))
+	free := pool.Submit(context.Background(), stream.NewEdgeStream(g))
+	tr := <-tight
+	if !errors.Is(tr.Err, match.ErrBudgetExceeded) {
+		t.Fatalf("budgeted job err = %v, want ErrBudgetExceeded", tr.Err)
+	}
+	if tr.Result == nil || tr.Result.Stats.SamplingRounds != 1 {
+		t.Fatalf("budgeted job did not return the best-so-far result: %+v", tr.Result)
+	}
+	fr := <-free
+	if fr.Err != nil {
+		t.Fatalf("unbudgeted job: %v", fr.Err)
+	}
+	if fr.Result.Stats.SamplingRounds <= 1 {
+		t.Fatalf("unbudgeted job was constrained: %d rounds", fr.Result.Stats.SamplingRounds)
+	}
+}
+
+// fifoObserver records which job a round event belonged to — the
+// service-order probe of the FIFO test.
+type fifoObserver struct {
+	mu    *sync.Mutex
+	order *[]int
+	job   int
+	seen  bool
+}
+
+func (o *fifoObserver) OnRound(match.RoundEvent) {
+	if o.seen {
+		return
+	}
+	o.seen = true
+	o.mu.Lock()
+	*o.order = append(*o.order, o.job)
+	o.mu.Unlock()
+}
+
+// TestPoolFIFO pins arrival-order fairness: a single-session pool must
+// *serve* jobs strictly in Submit order (observed via per-job round
+// observers, which fire on the worker during the solve — receiver
+// goroutine scheduling plays no part).
+func TestPoolFIFO(t *testing.T) {
+	pool, err := match.NewPool(1, match.WithSeed(5), match.WithWorkers(1), match.WithAlgorithm("greedy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	const jobs = 6
+	var chans [jobs]<-chan match.JobResult
+	for j := 0; j < jobs; j++ {
+		chans[j] = pool.Submit(context.Background(), stream.NewEdgeStream(poolGraph(uint64(j))),
+			match.WithObserver(&fifoObserver{mu: &mu, order: &order, job: j}))
+	}
+	for j := 0; j < jobs; j++ {
+		if r := <-chans[j]; r.Err != nil {
+			t.Fatalf("job %d: %v", j, r.Err)
+		}
+	}
+	pool.Close()
+	for i, j := range order {
+		if i != j {
+			t.Fatalf("service order %v is not Submit order", order)
+		}
+	}
+}
+
+// TestPoolClosed pins the closed-pool contract.
+func TestPoolClosed(t *testing.T) {
+	pool, err := match.NewPool(2, match.WithSeed(5), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	pool.Close() // idempotent
+	r := <-pool.Submit(context.Background(), stream.NewEdgeStream(poolGraph(1)))
+	if !errors.Is(r.Err, match.ErrPoolClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrPoolClosed", r.Err)
+	}
+}
+
+// TestPoolCancellationMidDrain is the race-detector stress: many
+// submitters, several with contexts cancelled while their jobs are
+// queued or solving, then Close racing the last submissions. Every job
+// must be answered exactly once with either a result or a context/
+// closed error — no deadlock, no leaked worker, no double send.
+func TestPoolCancellationMidDrain(t *testing.T) {
+	pool, err := match.NewPool(3, match.WithSeed(5), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const submitters = 8
+	const perSubmitter = 5
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for j := 0; j < perSubmitter; j++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if (s+j)%3 == 0 {
+					ctx, cancel = context.WithCancel(ctx)
+					go func() {
+						time.Sleep(time.Duration(s+j) * 100 * time.Microsecond)
+						cancel()
+					}()
+				}
+				res := <-pool.Submit(ctx, stream.NewEdgeStream(poolGraph(uint64(j))))
+				switch {
+				case res.Err == nil:
+					if res.Result == nil {
+						t.Error("nil result without error")
+					}
+				case errors.Is(res.Err, context.Canceled):
+					// cancelled while queued (nil result) or mid-solve
+					// (best-so-far result) — both legal.
+				default:
+					t.Errorf("unexpected job error: %v", res.Err)
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	pool.Close()
+	// After the drain, submits answer ErrPoolClosed.
+	r := <-pool.Submit(context.Background(), stream.NewEdgeStream(poolGraph(2)))
+	if !errors.Is(r.Err, match.ErrPoolClosed) {
+		t.Fatalf("post-drain submit: err = %v, want ErrPoolClosed", r.Err)
+	}
+}

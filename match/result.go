@@ -65,6 +65,11 @@ type Stats struct {
 	// EarlyStopped reports whether the dual certificate reached its
 	// target before the round budget ran out.
 	EarlyStopped bool `json:"earlyStopped"`
+	// WarmStarted reports that the solve installed a prior solution's
+	// dual snapshot (WithInitialDuals) instead of building the initial
+	// solution; a requested-but-invalid snapshot falls back to the cold
+	// start and reports false.
+	WarmStarted bool `json:"warmStarted"`
 	// RoundOfBestMatching is the 1-based sampling round in which the
 	// reported matching was found.
 	RoundOfBestMatching int `json:"roundOfBestMatching"`
@@ -90,6 +95,12 @@ type Result struct {
 	Eps float64 `json:"eps"`
 	// Stats meters what the run consumed.
 	Stats Stats `json:"stats"`
+
+	// warm is the detached dual snapshot a later solve can seed from via
+	// WithInitialDuals (nil for algorithms without duals and for runs
+	// that aborted before the duals existed). Deliberately unexported:
+	// it is an opaque handle, not part of the JSON surface.
+	warm *core.WarmDuals
 }
 
 // CertifiedUpperBound returns the dual certificate's upper bound on the
@@ -136,8 +147,10 @@ func fromCore(res *core.Result, eps float64) *Result {
 			UnionSizes:          res.Stats.UnionSizes,
 			WitnessEvents:       res.Stats.WitnessEvents,
 			EarlyStopped:        res.Stats.EarlyStopped,
+			WarmStarted:         res.Stats.WarmStarted,
 			RoundOfBestMatching: res.Stats.RoundOfBestMatching,
 		},
+		warm: res.Warm,
 	}
 	if res.Matching != nil {
 		out.Matching = Matching{EdgeIdx: res.Matching.EdgeIdx, Mult: res.Matching.Mult}

@@ -1,0 +1,204 @@
+package match_test
+
+// Session reuse and warm-started duals through the public facade: a
+// Solver solved twice must be bit-identical to two fresh Solvers (the
+// cached session retains capacity, never state), warm starts must
+// reduce the work of repeat solves without weakening the certificate,
+// and an invalid snapshot must fall back to the certified cold start
+// bit-identically to a never-warmed run.
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/match"
+)
+
+// assertSameResult compares two public results bit for bit.
+func assertSameResult(t *testing.T, label string, want, got *match.Result) {
+	t.Helper()
+	if math.Float64bits(want.Weight) != math.Float64bits(got.Weight) {
+		t.Errorf("%s: Weight %v != %v", label, got.Weight, want.Weight)
+	}
+	if math.Float64bits(want.DualObjective) != math.Float64bits(got.DualObjective) {
+		t.Errorf("%s: DualObjective %v != %v", label, got.DualObjective, want.DualObjective)
+	}
+	if math.Float64bits(want.Lambda) != math.Float64bits(got.Lambda) {
+		t.Errorf("%s: Lambda %v != %v", label, got.Lambda, want.Lambda)
+	}
+	if !reflect.DeepEqual(want.Matching, got.Matching) {
+		t.Errorf("%s: matchings differ", label)
+	}
+	if !reflect.DeepEqual(want.Stats, got.Stats) {
+		t.Errorf("%s: stats differ\nwant: %+v\ngot:  %+v", label, want.Stats, got.Stats)
+	}
+}
+
+// TestSolverReuseBitIdenticalOnCorpus is the facade-level reuse gate:
+// for every corpus family and both the default and a registry
+// algorithm, one Solver solved twice equals two cold solves exactly.
+func TestSolverReuseBitIdenticalOnCorpus(t *testing.T) {
+	ctx := context.Background()
+	for name, g := range corpus() {
+		for _, algo := range []string{match.DefaultAlgorithm, "greedy-augment"} {
+			opts := []match.Option{match.WithSeed(7), match.WithWorkers(1), match.WithAlgorithm(algo)}
+			coldSolver, err := match.New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := coldSolver.Solve(ctx, stream.NewEdgeStream(g))
+			if err != nil {
+				t.Fatalf("%s/%s: cold: %v", name, algo, err)
+			}
+			reused, err := match.New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := reused.Solve(ctx, stream.NewEdgeStream(g))
+			if err != nil {
+				t.Fatalf("%s/%s: first: %v", name, algo, err)
+			}
+			firstIdx := append([]int(nil), first.Matching.EdgeIdx...)
+			second, err := reused.Solve(ctx, stream.NewEdgeStream(g))
+			if err != nil {
+				t.Fatalf("%s/%s: second: %v", name, algo, err)
+			}
+			assertSameResult(t, name+"/"+algo+"/first", cold, first)
+			assertSameResult(t, name+"/"+algo+"/second", cold, second)
+			if !reflect.DeepEqual(first.Matching.EdgeIdx, firstIdx) {
+				t.Errorf("%s/%s: second solve mutated the first result", name, algo)
+			}
+		}
+	}
+}
+
+// drifted returns g with a fraction of edge weights nudged — the
+// "slowly drifting instance" regime warm starts target. The maximum
+// weight and capacities are preserved (the max-weight edges are never
+// nudged) so the discretization — and with it warm-start validity — is
+// unchanged.
+func drifted(g *graph.Graph, seed uint64) *graph.Graph {
+	wstar := g.MaxWeight()
+	out := graph.New(g.N())
+	for i, e := range g.Edges() {
+		w := e.W
+		if i%7 == int(seed%7) && w > 1 && w < wstar {
+			w *= 0.95
+		}
+		out.MustAddEdge(int(e.U), int(e.V), w)
+	}
+	return out
+}
+
+func TestWarmStartReducesWork(t *testing.T) {
+	ctx := context.Background()
+	g := graph.GNM(48, 320, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, 41)
+	// ε = 0.3 puts the certificate target within reach, so the warm
+	// trajectory's head start converts into fewer rounds immediately.
+	solver, err := match.New(match.WithSeed(13), match.WithWorkers(1), match.WithEps(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := solver.Solve(ctx, stream.NewEdgeStream(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.WarmStarted {
+		t.Error("cold solve reports WarmStarted")
+	}
+	coldWork := cold.Stats.Passes
+
+	// Repeat solves seeded from the previous solution: same instance
+	// and then a drifted one. The warm path must install (WarmStarted),
+	// skip the initial solution (InitRounds == 0), spend fewer passes
+	// than cold, and keep the certificate sound.
+	prev := cold
+	for i, src := range []match.Source{
+		stream.NewEdgeStream(g),
+		stream.NewEdgeStream(drifted(g, 3)),
+	} {
+		warm, err := solver.Solve(ctx, src, match.WithInitialDuals(prev))
+		if err != nil {
+			t.Fatalf("warm solve %d: %v", i, err)
+		}
+		if !warm.Stats.WarmStarted {
+			t.Fatalf("warm solve %d: snapshot not installed", i)
+		}
+		if warm.Stats.InitRounds != 0 {
+			t.Errorf("warm solve %d: InitRounds = %d, want 0", i, warm.Stats.InitRounds)
+		}
+		// The repeat on the unchanged instance must convert the head
+		// start into strictly fewer passes; a drifted instance may
+		// legitimately need the full trajectory again, but never more
+		// than cold.
+		if i == 0 && warm.Stats.Passes >= coldWork {
+			t.Errorf("warm repeat: %d passes, cold needed %d — no win", warm.Stats.Passes, coldWork)
+		}
+		if warm.Stats.Passes > coldWork {
+			t.Errorf("warm solve %d: %d passes exceeds cold's %d", i, warm.Stats.Passes, coldWork)
+		}
+		if err := warm.Validate(src); err != nil {
+			t.Errorf("warm solve %d: invalid matching: %v", i, err)
+		}
+		if warm.Lambda > 0 {
+			if ub := warm.CertifiedUpperBound(); ub < warm.Weight*(1-1e-9) {
+				t.Errorf("warm solve %d: certified bound %v below achieved weight %v", i, ub, warm.Weight)
+			}
+		}
+		prev = warm
+	}
+}
+
+// TestWarmStartInvalidFallsBackCold pins the certified fallback: a
+// snapshot from a different discretization (different n / W* / B) must
+// be rejected, and the run must be bit-identical to a never-warmed one.
+func TestWarmStartInvalidFallsBackCold(t *testing.T) {
+	ctx := context.Background()
+	small := graph.GNM(30, 150, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 12}, 5)
+	big := graph.GNM(64, 400, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 20}, 6)
+	solver, err := match.New(match.WithSeed(3), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := solver.Solve(ctx, stream.NewEdgeStream(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSolver, err := match.New(match.WithSeed(3), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSolver.Solve(ctx, stream.NewEdgeStream(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := solver.Solve(ctx, stream.NewEdgeStream(big), match.WithInitialDuals(prev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallback.Stats.WarmStarted {
+		t.Fatal("mismatched snapshot was installed")
+	}
+	assertSameResult(t, "fallback", cold, fallback)
+
+	// Nil previous result and results from dual-free algorithms are
+	// quietly cold too.
+	nilWarm, err := coldSolver.Solve(ctx, stream.NewEdgeStream(big), match.WithInitialDuals(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "nil-prev", cold, nilWarm)
+	greedyRes, err := match.Solve(ctx, stream.NewEdgeStream(big), match.WithAlgorithm("greedy"), match.WithSeed(3), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGreedy, err := coldSolver.Solve(ctx, stream.NewEdgeStream(big), match.WithInitialDuals(greedyRes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "dual-free-prev", cold, fromGreedy)
+}
