@@ -1,4 +1,4 @@
-// Command matchbench runs the experiment suite (E1–E15, EA, ES of
+// Command matchbench runs the experiment suite (E1–E18, EA, ES of
 // DESIGN.md section 4) and prints one table per experiment. Each table
 // regenerates a quantitative claim or figure of Ahn–Guha (SPAA 2015).
 //
@@ -12,6 +12,7 @@
 //	matchbench -json -rev abc  # also write BENCH_abc.json
 //	matchbench -compare BENCH_pr3.json BENCH_pr4.json
 //	matchbench -throughput     # serving layer only (E17: sessions, warm duals, Pool)
+//	matchbench -exp e18        # HTTP serving layer (matchd) over a socket
 //
 // With -json the run is additionally captured as a machine-readable
 // BENCH_<rev>.json (override the path with -jsonpath): every table's
@@ -99,7 +100,7 @@ func main() {
 				continue
 			}
 			if _, ok := bench.ByID(id); !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e17, ea, es)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e18, ea, es)\n", id)
 				os.Exit(2)
 			}
 			ids = append(ids, strings.ToLower(id))

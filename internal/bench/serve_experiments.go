@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/match"
+)
+
+// E18Serving measures the HTTP serving layer end to end: concurrent
+// clients driving matchd's synchronous solve endpoint through a real
+// socket, one row per job mix — the three wire kinds, a warm-repeat
+// stream that converges onto cached duals, and a budget-capped stream.
+// Throughput and latency are measured by the load driver
+// (serve.RunLoad); warm hits and budget trips are read back off the
+// server's own /metrics surface, so the row cross-checks the serving
+// pipeline's accounting against the client's view.
+func E18Serving(cfg Config) Table {
+	t := Table{
+		ID:    "E18",
+		Title: "HTTP serving: throughput, latency and warm reuse over a socket",
+		Columns: []string{"mix", "clients", "jobs", "failed", "retries429",
+			"solves/s", "p50 ms", "p99 ms", "warm hits", "budget trips"},
+	}
+	n, m := 64, 512
+	clients, jobsPer := 6, 8
+	if cfg.Quick {
+		n, m = 40, 240
+		clients, jobsPer = 4, 4
+	}
+	g := graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, cfg.Seed+200)
+	edges := serve.SourceSpec{Kind: "edges", N: g.N()}
+	for _, e := range g.Edges() {
+		edges.Edges = append(edges.Edges, []float64{float64(e.U), float64(e.V), e.W})
+	}
+	var rbg bytes.Buffer
+	if err := stream.WriteBinary(&rbg, stream.NewEdgeStream(
+		graph.GNM(n, m, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, cfg.Seed+201))); err != nil {
+		panic(err)
+	}
+	gen := serve.SourceSpec{Kind: "gen", N: n, M: m, Weights: "uniform", WMax: 25, Seed: cfg.Seed + 202}
+
+	mixes := []struct {
+		name  string
+		specs []serve.JobSpec
+	}{
+		{"edges-inline", []serve.JobSpec{{Source: edges}}},
+		{"gen-spec", []serve.JobSpec{{Source: gen}}},
+		{"rbg1-upload", []serve.JobSpec{{Source: serve.SourceSpec{
+			Kind: "rbg1", DataBase64: base64.StdEncoding.EncodeToString(rbg.Bytes())}}}},
+		// Every client re-solves the identical instance: after the cold
+		// solve the fingerprint cache serves sharpened duals to the rest.
+		{"warm-repeat", []serve.JobSpec{{Source: edges}}},
+		// A 2-round cap on an instance that needs ~21: every solve trips
+		// and still answers with its best-so-far matching.
+		{"budget-trip", []serve.JobSpec{{Source: edges, Budget: match.Budget{Rounds: 2}}}},
+	}
+	for _, mix := range mixes {
+		warmSize := 0
+		if mix.name == "warm-repeat" {
+			warmSize = 64
+		}
+		s, err := serve.New(serve.Config{
+			PoolSize:   2,
+			QueueLimit: 4 * clients,
+			Options: []match.Option{match.WithEps(0.3), match.WithSeed(cfg.Seed + 7),
+				match.WithWorkers(cfg.Workers)},
+			WarmCacheSize: warmOrDisabled(warmSize),
+		})
+		if err != nil {
+			panic(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		stats, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+			BaseURL:       ts.URL,
+			Clients:       clients,
+			JobsPerClient: jobsPer,
+			Specs:         mix.specs,
+			Client:        &http.Client{Timeout: 5 * time.Minute},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("E18 %s: %v", mix.name, err))
+		}
+		warmHits := scrapeMetric(ts.URL, "matchd_warm_hits_total")
+		trips := scrapeMetric(ts.URL, `matchd_budget_trips_total{axis="rounds"}`)
+		ts.Close()
+		s.Close()
+		t.AddRow(mix.name,
+			strconv.Itoa(clients), strconv.Itoa(stats.Jobs), strconv.Itoa(stats.Failed),
+			strconv.Itoa(stats.Retries429),
+			fmt.Sprintf("%.1f", stats.SolvesPerSec),
+			fmt.Sprintf("%.2f", float64(stats.P50.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(stats.P99.Microseconds())/1000),
+			strconv.Itoa(warmHits), strconv.Itoa(trips))
+	}
+	t.Note("n=%d m=%d, eps=0.3, pool of 2 sessions; latency is end-to-end over a real TCP socket", n, m)
+	t.Note("warm-repeat serves one fingerprint: every post-cold job is seeded from cached duals")
+	t.Note("budget-trip caps rounds at 2 (the cold trajectory needs ~21): trips still answer best-so-far")
+	return t
+}
+
+// warmOrDisabled maps "0 entries wanted" onto the config's explicit
+// disable value (negative), since 0 means "default".
+func warmOrDisabled(size int) int {
+	if size == 0 {
+		return -1
+	}
+	return size
+}
+
+// scrapeMetric reads one counter off the server's Prometheus surface.
+func scrapeMetric(baseURL, name string) int {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 1<<20))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				panic(fmt.Sprintf("parsing metric %s: %v", name, err))
+			}
+			return int(v)
+		}
+	}
+	panic(fmt.Sprintf("metric %s not found", name))
+}

@@ -1,0 +1,259 @@
+// Backpressure and drain semantics: a full admission queue answers 429
+// with Retry-After over the wire, Close mid-queue finishes every job
+// the pool already holds while failing the still-queued ones with a
+// clean server-closed error, and a closed server answers 503. The
+// tests freeze the fleet with gated sources (metered passes block on a
+// channel) so the queue topology is observable at a known state.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// gatedSource is an EdgeStream whose metered passes block until the
+// gate closes; Sweep (the fingerprint path) stays un-gated.
+type gatedSource struct {
+	*stream.EdgeStream
+	gate <-chan struct{}
+}
+
+func (g *gatedSource) ForEach(f func(int, graph.Edge) bool) {
+	<-g.gate
+	g.EdgeStream.ForEach(f)
+}
+
+func (g *gatedSource) ForEachParallel(workers int, f func(int, graph.Edge)) {
+	<-g.gate
+	g.EdgeStream.ForEachParallel(workers, f)
+}
+
+// gatedJob hand-builds an admitted job around a gated source, skipping
+// the wire codec (the codec cannot express a blocking source).
+func gatedJob(s *Server, gate <-chan struct{}, seed uint64) *job {
+	g := testGraph(seed)
+	src := &gatedSource{EdgeStream: stream.NewEdgeStream(g), gate: gate}
+	j := &job{
+		algo:     s.defaultAlgo,
+		src:      src,
+		inst:     Instance{N: src.N(), M: src.Len(), TotalB: src.TotalB()},
+		ctx:      context.Background(),
+		state:    stateQueued,
+		queuedAt: time.Now(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// waitFor polls until ok returns true (the dispatcher moves jobs
+// asynchronously, so topology assertions must wait for a settle).
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fillServer freezes a PoolSize-1, QueueLimit-2 server at its exact
+// capacity: 1 job in flight, 4 in the pool's own queue, 1 held by the
+// blocked dispatcher, 2 in the admission queue — 8 admitted jobs, the
+// 9th must bounce. Returns the jobs in admission order.
+func fillServer(t *testing.T, s *Server, gate <-chan struct{}) []*job {
+	t.Helper()
+	const capacity = 8 // 1 in flight + 4 pool queue + 1 dispatcher-held + 2 admission queue
+	jobs := make([]*job, 0, capacity)
+	for i := 0; i < capacity; i++ {
+		j := gatedJob(s, gate, uint64(i))
+		if code, errDoc := s.admit(j); errDoc != nil {
+			t.Fatalf("job %d bounced with %d %+v before capacity", i, code, errDoc)
+		}
+		jobs = append(jobs, j)
+		if i < capacity-2 {
+			// The first six jobs land in the pool (or on the blocked
+			// dispatcher); wait for the pickup so the admission queue
+			// is empty when the last two arrive to occupy it.
+			waitFor(t, "dispatcher pickup", func() bool { return s.QueueDepth() == 0 })
+		}
+	}
+	waitFor(t, "saturated fleet", func() bool {
+		ps := s.pool.Stats()
+		return ps.InFlight == 1 && ps.Queued == 4 && s.QueueDepth() == 2
+	})
+	// The dispatcher holds job 5 blocked on the pool; wait until it is
+	// past the drain check (marked running), so a Close racing the
+	// dispatcher cannot misclassify it as still-queued.
+	waitFor(t, "dispatcher-held job running", func() bool {
+		return jobs[5].snapshot().Status == stateRunning
+	})
+	return jobs
+}
+
+// TestBackpressure429 pins admission control over the wire: at
+// capacity the next submission gets 429 with a Retry-After hint, and
+// once the fleet drains the same submission is accepted.
+func TestBackpressure429(t *testing.T) {
+	s, ts := startServer(t, Config{PoolSize: 1, QueueLimit: 2, RetryAfter: 3 * time.Second})
+	gate := make(chan struct{})
+	jobs := fillServer(t, s, gate)
+
+	spec := JobSpec{Source: genSpec(99)}
+	code, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("submission at capacity: HTTP %d, body %s", code, body)
+	}
+	// Re-issue to read the header (postJSON drops it): the rejection is
+	// stable while the fleet stays frozen.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", specReader(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second rejection: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+	// Both rejections are visible on the metrics surface.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "matchd_jobs_rejected_total 2") {
+		t.Errorf("metrics missing rejected counter:\n%s", mbody)
+	}
+
+	close(gate)
+	for i, j := range jobs {
+		if st, err := j.wait(t.Context()); err != nil || st.Status != stateDone {
+			t.Fatalf("gated job %d ended %s (err %v), want done", i, st.Status, err)
+		}
+	}
+	if code, body = postJSON(t, ts.URL+"/v1/jobs", spec); code != http.StatusAccepted {
+		t.Fatalf("submission after drain: HTTP %d, body %s", code, body)
+	}
+}
+
+// TestCloseDrainsInFlight pins the drain contract: jobs the pool
+// already holds (in flight, pool-queued, dispatcher-held) finish with
+// queryable results; jobs still in the admission queue fail with the
+// server-closed error; submissions during and after the drain get 503.
+func TestCloseDrainsInFlight(t *testing.T) {
+	s, ts := startServer(t, Config{PoolSize: 1, QueueLimit: 2})
+	gate := make(chan struct{})
+	jobs := fillServer(t, s, gate)
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	waitFor(t, "draining flag", s.draining.Load)
+
+	// The server refuses new work the moment the drain starts.
+	code, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Source: genSpec(99)})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submission mid-drain: HTTP %d, body %s", code, body)
+	}
+
+	close(gate)
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close never returned after the gate opened")
+	}
+
+	// Admission order was j0..j7: the pool held j0..j5, the admission
+	// queue held j6 and j7.
+	for i, j := range jobs[:6] {
+		st := j.snapshot()
+		if st.Status != stateDone || st.Result == nil {
+			t.Errorf("pool-held job %d: status %s result %v, want done with result", i, st.Status, st.Result)
+		}
+	}
+	for i, j := range jobs[6:] {
+		st := j.snapshot()
+		if st.Status != stateFailed || st.Error == nil || st.Error.Code != "server_closed" {
+			t.Errorf("queued job %d: status %s error %+v, want failed server_closed", 6+i, st.Status, st.Error)
+		}
+	}
+
+	// Finished jobs stay queryable over the wire after the drain.
+	var st JobStatus
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+jobs[0].id, &st); code != http.StatusOK || st.Status != stateDone {
+		t.Errorf("post-drain status of %s: HTTP %d status %s", jobs[0].id, code, st.Status)
+	}
+	// And Close is idempotent.
+	s.Close()
+}
+
+// TestSyncSolveCancel pins that a synchronous caller walking away
+// cancels its solve: the job fails with the canceled code and the
+// canceled outcome is counted, not the ok one.
+func TestSyncSolveCancel(t *testing.T) {
+	s, ts := startServer(t, Config{PoolSize: 1})
+	gate := make(chan struct{})
+	j := gatedJob(s, gate, 1)
+	if _, errDoc := s.admit(j); errDoc != nil {
+		t.Fatalf("admit: %+v", errDoc)
+	}
+	waitFor(t, "gated job in flight", func() bool { return s.pool.Stats().InFlight == 1 })
+
+	ctx, cancel := context.WithCancel(t.Context())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve",
+		specReader(t, JobSpec{Source: genSpec(7)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Give the solve a moment to admit, then hang up.
+	waitFor(t, "second job admitted", func() bool { return s.lookup("j-000002") != nil })
+	cancel()
+	<-done
+	// The canceled job still waits behind the gated one for a session;
+	// open the gate so the pool reaches it and observes the dead context.
+	close(gate)
+	sync := s.lookup("j-000002")
+	waitFor(t, "canceled job terminal", func() bool {
+		st := sync.snapshot()
+		return st.Status == stateFailed
+	})
+	if st := sync.snapshot(); st.Error == nil || st.Error.Code != "canceled" {
+		t.Errorf("canceled job error = %+v, want code canceled", st.Error)
+	}
+}
+
+// specReader marshals a spec for a hand-rolled request.
+func specReader(t *testing.T, spec JobSpec) *bytes.Reader {
+	t.Helper()
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}

@@ -1,0 +1,283 @@
+// Package serve is the network serving layer over match.Pool: the
+// HTTP/JSON front end command matchd mounts. It turns the in-process
+// serving fleet of PR 5 into something callers reach over a socket —
+// the paper's "heavy traffic" posture — while keeping the protocol
+// layer deliberately thin: the wire codec (job.go) is separated from
+// the handlers (handlers.go), which are separated from the queueing and
+// solving machinery (this file), so a second protocol (gRPC) can reuse
+// everything below the handlers.
+//
+// The serving pipeline is:
+//
+//	handler → admit (bounded FIFO queue, 429 + Retry-After when deep)
+//	        → dispatcher (single goroutine: strict FIFO into the pool,
+//	          per-tenant budget clamping, warm-dual fingerprint lookup)
+//	        → match.Pool (fixed fleet of reusable solve sessions)
+//	        → awaiter (result classification, warm-dual store, metrics)
+//
+// Every job's per-round Observer events are retained on the job and
+// replayable, so the SSE stream (GET /v1/jobs/{id}/events) delivers the
+// exact event sequence an in-process Observer would have seen — late
+// subscribers included. Warm-dual reuse is keyed by an instance
+// fingerprint (n, ΣB, m, ε, W*, content hash): a job whose fingerprint
+// matches a completed solve starts from that solve's dual snapshot
+// (WithInitialDuals) and converges in a round; any perturbation changes
+// the fingerprint and falls back to the certified cold start.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/match"
+)
+
+// ErrServerClosed is the error jobs still queued in the admission queue
+// are answered with when the server drains: their solve never started
+// and never will. Jobs already handed to the pool finish normally.
+var ErrServerClosed = errors.New("serve: server closed before the job ran")
+
+// Config parameterizes a Server. The zero value is runnable: two
+// sessions, a 64-deep admission queue, default solver options, warm
+// cache on.
+type Config struct {
+	// PoolSize is the number of solve sessions in the fleet (default 2).
+	PoolSize int
+	// QueueLimit bounds the admission queue: jobs beyond it are rejected
+	// with 429 + Retry-After instead of queued (default 64).
+	QueueLimit int
+	// Options is the base solver configuration every session is built
+	// with (match.New options). Per-job spec fields override per job.
+	Options []match.Option
+	// DefaultBudget caps every job's resource budget when its tenant has
+	// no entry in TenantBudgets; zero axes are uncapped.
+	DefaultBudget match.Budget
+	// TenantBudgets caps budgets per tenant name: a job may only tighten
+	// its tenant's cap, never exceed it.
+	TenantBudgets map[string]match.Budget
+	// WarmCacheSize bounds the warm-dual fingerprint cache (default 256;
+	// negative disables warm reuse entirely).
+	WarmCacheSize int
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// JobHistory bounds how many finished jobs remain queryable before
+	// the oldest are evicted (default 1024).
+	JobHistory int
+}
+
+// Server is one serving instance: an admission queue, a dispatcher, a
+// match.Pool fleet, a warm-dual cache and a metrics registry behind an
+// http.Handler. Create with New, mount Handler, stop with Close.
+type Server struct {
+	cfg         Config
+	defaultEps  float64
+	defaultAlgo string
+	pool        *match.Pool
+	mux         *http.ServeMux
+	queue       chan *job
+	metrics     *metrics
+	warm        *warmCache
+
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup // admits between the closed-check and their enqueue
+	jobs    map[string]*job
+	done    []string // finished job ids in completion order, for history eviction
+	seq     int64
+
+	draining       atomic.Bool
+	dispatcherDone chan struct{}
+	awaitWG        sync.WaitGroup
+}
+
+// New builds and starts a Server (its dispatcher goroutine runs until
+// Close). The configuration is validated the same way match.New
+// validates solver options.
+func New(cfg Config) (*Server, error) {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	if cfg.WarmCacheSize == 0 {
+		cfg.WarmCacheSize = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 1024
+	}
+	probe, err := match.New(cfg.Options...)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := match.NewPool(cfg.PoolSize, cfg.Options...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:            cfg,
+		defaultEps:     probe.Eps(),
+		defaultAlgo:    probe.Algorithm(),
+		pool:           pool,
+		queue:          make(chan *job, cfg.QueueLimit),
+		metrics:        newMetrics(),
+		jobs:           make(map[string]*job),
+		dispatcherDone: make(chan struct{}),
+	}
+	if cfg.WarmCacheSize > 0 {
+		s.warm = newWarmCache(cfg.WarmCacheSize)
+	}
+	s.mux = s.routes()
+	go s.dispatch()
+	return s, nil
+}
+
+// Handler returns the server's HTTP surface (see routes in handlers.go
+// for the endpoint list).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// QueueDepth returns how many admitted jobs wait in the admission queue
+// (before the pool's own queue).
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Close drains the server: no further job is admitted (submissions get
+// 503), jobs already handed to the pool — in flight or in the pool's
+// own queue — finish and keep their results queryable, and jobs still
+// in the admission queue are failed with ErrServerClosed. Close returns
+// once the fleet has drained; it is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.draining.Store(true)
+		s.pending.Wait()
+		close(s.queue)
+	}
+	<-s.dispatcherDone
+	s.pool.Close()
+	s.awaitWG.Wait()
+}
+
+// admit registers the job and enqueues it, applying admission control:
+// a full queue answers 429 (the caller adds Retry-After), a closed
+// server 503. On success the job is queryable immediately.
+func (s *Server) admit(j *job) (int, *ErrorDoc) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		j.discard()
+		return http.StatusServiceUnavailable, &ErrorDoc{Code: "server_closed", Message: "server is shutting down"}
+	}
+	s.pending.Add(1)
+	s.seq++
+	j.id = fmt.Sprintf("j-%06d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	defer s.pending.Done()
+	select {
+	case s.queue <- j:
+		s.metrics.admitted()
+		return http.StatusAccepted, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		s.metrics.rejected()
+		j.discard()
+		return http.StatusTooManyRequests, &ErrorDoc{
+			Code:    "queue_full",
+			Message: fmt.Sprintf("admission queue is full (%d jobs deep); retry later", s.cfg.QueueLimit),
+		}
+	}
+}
+
+// lookup returns a queryable job by id.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// dispatch is the single dispatcher goroutine: strict FIFO from the
+// admission queue into the pool (one serialized Submit preserves
+// arrival order even when the pool's own queue is saturated — blocking
+// here IS the backpressure that keeps the admission queue deep enough
+// for 429s to fire). During a drain it fails the remaining queued jobs
+// instead of submitting them.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	for j := range s.queue {
+		if s.draining.Load() {
+			j.finish(nil, ErrServerClosed)
+			s.retire(j.id)
+			continue
+		}
+		j.markRunning()
+		ch := s.pool.Submit(j.ctx, j.src, s.jobExtras(j)...)
+		s.awaitWG.Add(1)
+		go s.await(j, ch)
+	}
+}
+
+// jobExtras assembles the per-job options handed to Pool.Submit: the
+// clamped budget, the job itself as the Observer (it retains every
+// RoundEvent for the SSE stream), and — when the fingerprint cache
+// holds a completed solve of the identical instance — the warm-dual
+// seed.
+func (s *Server) jobExtras(j *job) []match.Option {
+	extra := append([]match.Option{}, j.opts...)
+	if !j.budget.IsZero() {
+		extra = append(extra, match.WithBudget(j.budget))
+	}
+	extra = append(extra, match.WithObserver(j))
+	if j.warmEligible && s.warm != nil {
+		if prev := s.warm.get(j.fp); prev != nil {
+			extra = append(extra, match.WithInitialDuals(prev))
+			j.setWarmHit()
+			s.metrics.warm(true)
+		} else {
+			s.metrics.warm(false)
+		}
+	}
+	return extra
+}
+
+// await consumes one pool result: classifies it onto the job, feeds the
+// warm cache and the metrics, and evicts old history.
+func (s *Server) await(j *job, ch <-chan match.JobResult) {
+	defer s.awaitWG.Done()
+	r := <-ch
+	if j.warmEligible && s.warm != nil && r.Err == nil && r.Result != nil {
+		s.warm.put(j.fp, r.Result)
+	}
+	j.finish(r.Result, r.Err)
+	j.mu.Lock()
+	status, wall := j.solveStatus, j.doneAt.Sub(j.startedAt).Seconds()
+	if j.budgetErr != nil {
+		s.metrics.tripped(string(j.budgetErr.Axis))
+	}
+	j.mu.Unlock()
+	s.metrics.solved(status, wall)
+	s.retire(j.id)
+}
+
+// retire records a finished job for history eviction and drops the
+// oldest finished jobs beyond the configured bound.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = append(s.done, id)
+	for len(s.done) > s.cfg.JobHistory {
+		delete(s.jobs, s.done[0])
+		s.done = s.done[1:]
+	}
+}

@@ -1,0 +1,173 @@
+// The SSE observer stream: the event sequence a network subscriber
+// reads from GET /v1/jobs/{id}/events must be bit-identical to the
+// RoundEvent sequence an in-process Observer receives for the same
+// (instance, options) — λ and β compared as float64 bits, not
+// approximately — and the stream must replay in full for subscribers
+// that arrive after the solve finished. The raw data lines are also
+// pinned against a golden file (regenerate with -update).
+
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/match"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sseStream is one decoded SSE session: the round-event data lines in
+// order, plus the terminal done document.
+type sseStream struct {
+	rounds [][]byte
+	done   JobStatus
+}
+
+// readSSE consumes a /events stream to its terminal event.
+func readSSE(t *testing.T, url string) sseStream {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var out sseStream
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "round":
+				out.rounds = append(out.rounds, data)
+			case "done":
+				if err := json.Unmarshal(data, &out.done); err != nil {
+					t.Fatalf("decoding done event: %v\n%s", err, data)
+				}
+				return out
+			default:
+				t.Fatalf("unknown SSE event %q", event)
+			}
+		case line == "":
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	t.Fatalf("stream ended without a done event (scan err %v)", sc.Err())
+	return out
+}
+
+// decodeRounds parses the data lines back into RoundEvents.
+func decodeRounds(t *testing.T, raw [][]byte) []match.RoundEvent {
+	t.Helper()
+	events := make([]match.RoundEvent, len(raw))
+	for i, data := range raw {
+		if err := json.Unmarshal(data, &events[i]); err != nil {
+			t.Fatalf("decoding round event %d: %v\n%s", i, err, data)
+		}
+	}
+	return events
+}
+
+// TestSSEBitIdenticalToObserver pins the core streaming contract: for a
+// pinned-seed instance, the streamed sequence equals the in-process
+// Observer callback sequence field for field — float64s included,
+// because Go's JSON encoding round-trips them exactly.
+func TestSSEBitIdenticalToObserver(t *testing.T) {
+	g := testGraph(3)
+	var trace match.TraceObserver
+	want, err := match.Solve(t.Context(), stream.NewEdgeStream(g),
+		append(testOptions(), match.WithObserver(&trace))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) < 2 {
+		t.Fatalf("pinned instance produced %d events; the test needs a trajectory", len(trace.Events))
+	}
+
+	_, ts := startServer(t, Config{WarmCacheSize: -1})
+	id := submitJob(t, ts.URL, JobSpec{Source: edgesSpec(g)})
+	got := readSSE(t, ts.URL+"/v1/jobs/"+id+"/events")
+
+	events := decodeRounds(t, got.rounds)
+	if len(events) != len(trace.Events) {
+		t.Fatalf("streamed %d events, observer saw %d", len(events), len(trace.Events))
+	}
+	for i, ev := range events {
+		if ev != trace.Events[i] {
+			t.Errorf("event %d: streamed %+v, observer saw %+v", i, ev, trace.Events[i])
+		}
+	}
+	if got.done.Status != stateDone || got.done.Result == nil {
+		t.Fatalf("terminal event: status %s, result %v", got.done.Status, got.done.Result)
+	}
+	if got.done.Result.Weight != want.Weight {
+		t.Errorf("terminal weight = %v, want %v", got.done.Result.Weight, want.Weight)
+	}
+	if got.done.Rounds != len(trace.Events) {
+		t.Errorf("terminal rounds = %d, want %d", got.done.Rounds, len(trace.Events))
+	}
+
+	// A second subscriber after completion replays the identical stream.
+	replay := readSSE(t, ts.URL+"/v1/jobs/"+id+"/events")
+	if len(replay.rounds) != len(got.rounds) {
+		t.Fatalf("replay streamed %d events, first subscriber saw %d", len(replay.rounds), len(got.rounds))
+	}
+	for i := range replay.rounds {
+		if !bytes.Equal(replay.rounds[i], got.rounds[i]) {
+			t.Errorf("replay event %d differs:\n%s\n%s", i, replay.rounds[i], got.rounds[i])
+		}
+	}
+}
+
+// TestSSEGolden pins the raw wire bytes of the pinned-seed stream
+// against testdata/sse_events.golden: any drift in the event schema,
+// field order or the solver trajectory itself shows up as a diff.
+// Regenerate with: go test ./internal/serve -run TestSSEGolden -update
+func TestSSEGolden(t *testing.T) {
+	_, ts := startServer(t, Config{WarmCacheSize: -1})
+	id := submitJob(t, ts.URL, JobSpec{Source: edgesSpec(testGraph(3))})
+	got := readSSE(t, ts.URL+"/v1/jobs/"+id+"/events")
+
+	var buf bytes.Buffer
+	for _, data := range got.rounds {
+		fmt.Fprintf(&buf, "%s\n", data)
+	}
+	path := filepath.Join("testdata", "sse_events.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SSE stream drifted from golden (run with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

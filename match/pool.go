@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 )
@@ -47,12 +48,38 @@ type poolJob struct {
 //
 // Every method is safe for concurrent use.
 type Pool struct {
-	jobs chan *poolJob
-	wg   sync.WaitGroup
+	jobs     chan *poolJob
+	wg       sync.WaitGroup
+	size     int
+	inflight atomic.Int64
 
 	mu      sync.Mutex
 	closed  bool
 	pending sync.WaitGroup // Submit calls between the closed-check and their enqueue
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's serving state: how
+// many sessions the fleet runs, how many accepted jobs wait for one,
+// and how many solves are in flight right now. It is the introspection
+// a serving layer scrapes into its metrics (queue depth feeds admission
+// control and backpressure decisions); because the pool keeps moving
+// while the snapshot is taken, the numbers are individually exact but
+// only approximately simultaneous.
+type PoolStats struct {
+	// Sessions is the fixed number of worker sessions (NewPool's size).
+	Sessions int
+	// Queued counts jobs accepted by Submit that no session has picked
+	// up yet.
+	Queued int
+	// InFlight counts solves currently running on a session.
+	InFlight int
+}
+
+// Stats returns a snapshot of the pool's queue depth and in-flight
+// solve count. Safe for concurrent use; cheap enough to call on every
+// metrics scrape.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Sessions: p.size, Queued: len(p.jobs), InFlight: int(p.inflight.Load())}
 }
 
 // NewPool builds a pool of size sessions configured with opts (the same
@@ -71,7 +98,7 @@ func NewPool(size int, opts ...Option) (*Pool, error) {
 	if per < 1 {
 		per = 1
 	}
-	p := &Pool{jobs: make(chan *poolJob, 4*size)}
+	p := &Pool{jobs: make(chan *poolJob, 4*size), size: size}
 	for i := 0; i < size; i++ {
 		solver, err := New(append(append([]Option{}, opts...), WithWorkers(per))...)
 		if err != nil {
@@ -145,7 +172,9 @@ func (p *Pool) serve(s *Solver) {
 			close(job.out)
 			continue
 		}
+		p.inflight.Add(1)
 		res, err := s.Solve(job.ctx, job.src, job.extra...)
+		p.inflight.Add(-1)
 		job.out <- JobResult{Result: res, Err: err}
 		close(job.out)
 	}

@@ -198,3 +198,76 @@ func TestPoolCancellationMidDrain(t *testing.T) {
 		t.Fatalf("post-drain submit: err = %v, want ErrPoolClosed", r.Err)
 	}
 }
+
+// gatedSource is an EdgeStream whose metered passes block until the
+// gate channel is closed — it lets the test freeze solves mid-pool so
+// queue depth and in-flight counts are observable at a known state.
+type gatedSource struct {
+	*stream.EdgeStream
+	gate <-chan struct{}
+}
+
+func (g *gatedSource) ForEach(f func(int, graph.Edge) bool) {
+	<-g.gate
+	g.EdgeStream.ForEach(f)
+}
+
+func (g *gatedSource) ForEachParallel(workers int, f func(int, graph.Edge)) {
+	<-g.gate
+	g.EdgeStream.ForEachParallel(workers, f)
+}
+
+// waitStats polls until the pool snapshot satisfies ok (the pool keeps
+// moving between Submit and a session pickup, so the test must wait for
+// the state to settle rather than assert it instantaneously).
+func waitStats(t *testing.T, pool *match.Pool, ok func(match.PoolStats) bool) match.PoolStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := pool.Stats()
+		if ok(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool stats never settled: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolStats pins the introspection contract the serving layer
+// scrapes: Sessions is the configured size, InFlight counts solves
+// holding a session, Queued counts accepted jobs no session has picked
+// up, and both drain back to zero once the jobs finish.
+func TestPoolStats(t *testing.T) {
+	pool, err := match.NewPool(1, match.WithSeed(3), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if st := pool.Stats(); st.Sessions != 1 || st.Queued != 0 || st.InFlight != 0 {
+		t.Fatalf("idle pool stats = %+v, want {1 0 0}", st)
+	}
+	gate := make(chan struct{})
+	const jobs = 3
+	chans := make([]<-chan match.JobResult, jobs)
+	for j := 0; j < jobs; j++ {
+		src := &gatedSource{EdgeStream: stream.NewEdgeStream(poolGraph(uint64(j))), gate: gate}
+		chans[j] = pool.Submit(context.Background(), src)
+	}
+	st := waitStats(t, pool, func(st match.PoolStats) bool {
+		return st.InFlight == 1 && st.Queued == jobs-1
+	})
+	if st.Sessions != 1 {
+		t.Fatalf("Sessions = %d, want 1", st.Sessions)
+	}
+	close(gate)
+	for j, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("job %d: %v", j, r.Err)
+		}
+	}
+	waitStats(t, pool, func(st match.PoolStats) bool {
+		return st.InFlight == 0 && st.Queued == 0
+	})
+}
