@@ -3,9 +3,9 @@
 GO ?= go
 REV ?= dev
 
-.PHONY: check fmt vet build test race bench experiments bench-json
+.PHONY: check fmt vet build test race fuzz bench experiments bench-json bench-gate bench-profile
 
-check: fmt vet build race
+check: fmt vet build race fuzz
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -23,6 +23,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short fuzz smoke over the RBG1/RBG2 decoders: hostile bytes must be
+# rejected with a typed error, never a panic or hostile allocation.
+fuzz:
+	$(GO) test ./internal/stream/ -run=^$$ -fuzz=FuzzOpenBinary -fuzztime=10s
+
 # Root testing.B benchmarks: one per experiment table, quick mode.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -35,3 +40,18 @@ experiments:
 # trajectory; see cmd/matchbench -json).
 bench-json:
 	$(GO) run ./cmd/matchbench -quick -json -rev $(REV)
+
+# Bench smoke gate: the newest capture must show no wall-time
+# regressions against the previous one (exit 1 otherwise).
+BENCH_OLD ?= BENCH_pr6.json
+BENCH_NEW ?= BENCH_pr7.json
+bench-gate:
+	$(GO) run ./cmd/matchbench -compare $(BENCH_OLD) $(BENCH_NEW)
+
+# Profile the two dominant experiments (EA, E14) so the next perf PR
+# starts from data; see "Profile snapshot" in EXPERIMENTS.md.
+bench-profile:
+	$(GO) test -run=^$$ -bench='BenchmarkEAblations|BenchmarkE14Workers' \
+		-benchtime=1x -cpuprofile=cpu.pprof -memprofile=mem.pprof .
+	$(GO) tool pprof -top -nodecount=10 repro.test cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space repro.test mem.pprof

@@ -9,7 +9,9 @@
 //	matchsolve -input inst.col -format dimacs         # DIMACS edge format
 //	matchsolve -input big.rbg -format bin             # out-of-core binary
 //	matchsolve -n 100 -m 800 -verify                  # compare to exact blossom
-//	matchsolve -input edges.txt -convert big.rbg      # text -> binary, no solve
+//	matchsolve -input edges.txt -convert big.rbg      # text -> binary (RBG2), no solve
+//	matchsolve -input old.rbg -format bin -convert new.rbg  # migrate RBG1 -> RBG2
+//	matchsolve -input e.txt -convert g.rbg -codec rbg1      # force the fixed-record codec
 //	matchsolve -n 200 -m 2000 -json                   # machine-readable result
 //	matchsolve -n 200 -m 2000 -max-rounds 2           # enforce a round budget
 //	matchsolve -algo list                             # enumerate the registry
@@ -86,7 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "random seed")
 	input := fs.String("input", "", "instance file instead of a generator")
 	format := fs.String("format", "edgelist", "input format: edgelist|dimacs|bin")
-	convert := fs.String("convert", "", "write the instance to this binary (RBG1) file and exit")
+	convert := fs.String("convert", "", "write the instance to this binary file and exit")
+	codec := fs.String("codec", "rbg2", "binary codec for -convert: rbg2 (compressed) | rbg1 (fixed records)")
 	bmax := fs.Int("bmax", 1, "random vertex capacities in [1,bmax]")
 	verify := fs.Bool("verify", false, "also run the exact blossom solver and report the ratio")
 	workers := fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
@@ -165,10 +168,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *convert != "" {
-		if err := stream.WriteBinaryFile(*convert, src); err != nil {
+		write := stream.WriteBinaryFile2
+		switch strings.ToLower(*codec) {
+		case "rbg2":
+		case "rbg1":
+			write = stream.WriteBinaryFile
+		default:
+			fmt.Fprintf(stderr, "unknown -codec %q (want rbg1 or rbg2)\n", *codec)
+			return 2
+		}
+		if err := write(*convert, src); err != nil {
 			return fail("convert: %v", err)
 		}
-		fmt.Fprintf(stdout, "wrote %s: n=%d m=%d B=%d\n", *convert, src.N(), src.Len(), src.TotalB())
+		fmt.Fprintf(stdout, "wrote %s (%s): n=%d m=%d B=%d\n", *convert, strings.ToLower(*codec), src.N(), src.Len(), src.TotalB())
 		return 0
 	}
 

@@ -97,6 +97,22 @@ func TestBinaryPathMatchesInMemory(t *testing.T) {
 	if fromText != fromBin {
 		t.Errorf("binary backend output differs from edge-list backend:\n--- text ---\n%s--- bin ---\n%s", fromText, fromBin)
 	}
+
+	// Codec migration: RBG1 -> RBG2 through -convert, then solve all
+	// three representations; every output must be identical.
+	bin1 := filepath.Join(dir, "inst1.rbg")
+	if out := runCLI(t, "-input", edgelist, "-convert", bin1, "-codec", "rbg1"); !strings.Contains(out, "(rbg1)") {
+		t.Fatalf("rbg1 convert summary: %q", out)
+	}
+	bin2 := filepath.Join(dir, "inst2.rbg")
+	if out := runCLI(t, "-input", bin1, "-format", "bin", "-convert", bin2); !strings.Contains(out, "(rbg2)") {
+		t.Fatalf("migration convert summary: %q", out)
+	}
+	fromBin1 := runCLI(t, "-input", bin1, "-format", "bin", "-seed", "5", "-workers", "1")
+	fromBin2 := runCLI(t, "-input", bin2, "-format", "bin", "-seed", "5", "-workers", "1")
+	if fromBin1 != fromText || fromBin2 != fromText {
+		t.Errorf("codec migration changed results:\n--- rbg1 ---\n%s--- rbg2 ---\n%s", fromBin1, fromBin2)
+	}
 }
 
 func TestDIMACSInput(t *testing.T) {

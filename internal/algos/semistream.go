@@ -68,8 +68,10 @@ func (a *greedyAlg) Round(_ context.Context, run *engine.Run) (bool, error) {
 			return false, err
 		}
 		a.st, a.bits = semistream.NewGreedyStateIn(a.n, a.bits)
-		a.src.ForEach(func(idx int, e graph.Edge) bool {
-			a.st.Offer(idx, e)
+		stream.ForEachBlocks(a.src, func(base int, edges []graph.Edge) bool {
+			for i := range edges {
+				a.st.Offer(base+i, edges[i])
+			}
 			return true
 		})
 		a.weight = a.st.Weight()

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one runner per
-// experiment in the index of DESIGN.md section 4 (E1–E18, EA, ES), each
+// experiment in the index of DESIGN.md section 4 (E1–E19, EA, ES), each
 // regenerating a quantitative claim or figure of the paper as a
 // printable table. The cmd/matchbench binary and the repository-root
 // testing.B benchmarks are thin wrappers around these runners.
@@ -111,7 +111,7 @@ func noteWorkers(t *Table, cfg Config) {
 // IDs returns every experiment id in canonical run order.
 func IDs() []string {
 	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "ea", "es"}
+		"e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "ea", "es"}
 }
 
 // All runs every experiment and returns the tables in order.
@@ -133,7 +133,8 @@ func ByID(id string) (func(Config) Table, bool) {
 		"e10": E10BMatching, "e11": E11Congest, "e12": E12Relaxations,
 		"e13": E13Scaling, "e14": E14Workers, "e15": E15Backends,
 		"e16": E16Algorithms, "e17": E17Throughput, "e18": E18Serving,
-		"ea": EAblations, "es": ESemiStream,
+		"e19": E19FileCodecs,
+		"ea":  EAblations, "es": ESemiStream,
 	}
 	fn, ok := m[strings.ToLower(id)]
 	return fn, ok

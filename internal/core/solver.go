@@ -333,9 +333,11 @@ func (a *dualPrimal) Init(_ context.Context, run *engine.Run, src stream.Source)
 	// solution and the (use, level) sparsifier grid; the counts fix each
 	// construction's subsampling depth.
 	a.levelCount = run.Arena().Ints(a.nl)
-	src.ForEach(func(_ int, e graph.Edge) bool {
-		if k, ok := scheme.Level(e.W); ok {
-			a.levelCount[k]++
+	stream.ForEachBlocks(src, func(_ int, edges []graph.Edge) bool {
+		for i := range edges {
+			if k, ok := scheme.Level(edges[i].W); ok {
+				a.levelCount[k]++
+			}
 		}
 		return true
 	})
@@ -556,19 +558,25 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 		a.levelCursor[k] = 0
 	}
 	acct.Alloc(solveChunkEdges) // the staging buffer is central storage
-	src.ForEach(func(idx int, e graph.Edge) bool {
-		k, ok := scheme.Level(e.W)
-		if !ok {
-			return true
-		}
-		a.chunk = append(a.chunk, chunkEdge{
-			u: e.U, v: e.V, k: int32(k),
-			orig: idx, local: a.levelCursor[k], w: e.W,
-		})
-		a.levelCursor[k]++
-		if len(a.chunk) == solveChunkEdges {
-			dispatch(a.chunk)
-			a.chunk = a.chunk[:0]
+	// Staging chunks cut at solveChunkEdges regardless of the delivered
+	// block shape, so dispatch boundaries — and therefore every sampling
+	// draw — are independent of the backend's block geometry.
+	stream.ForEachBlocks(src, func(base int, edges []graph.Edge) bool {
+		for i := range edges {
+			e := edges[i]
+			k, ok := scheme.Level(e.W)
+			if !ok {
+				continue
+			}
+			a.chunk = append(a.chunk, chunkEdge{
+				u: e.U, v: e.V, k: int32(k),
+				orig: base + i, local: a.levelCursor[k], w: e.W,
+			})
+			a.levelCursor[k]++
+			if len(a.chunk) == solveChunkEdges {
+				dispatch(a.chunk)
+				a.chunk = a.chunk[:0]
+			}
 		}
 		return true
 	})
@@ -729,10 +737,12 @@ func init() {
 // one round of sketch evaluation).
 func lambdaOf(src stream.Source, scheme *levels.Scheme, state *dualState) float64 {
 	lam := math.Inf(1)
-	src.ForEach(func(_ int, e graph.Edge) bool {
-		if k, ok := scheme.Level(e.W); ok {
-			if r := state.CoverageRatio(e.U, e.V, k); r < lam {
-				lam = r
+	stream.ForEachBlocks(src, func(_ int, edges []graph.Edge) bool {
+		for i := range edges {
+			if k, ok := scheme.Level(edges[i].W); ok {
+				if r := state.CoverageRatio(edges[i].U, edges[i].V, k); r < lam {
+					lam = r
+				}
 			}
 		}
 		return true

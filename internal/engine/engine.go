@@ -18,8 +18,38 @@ import (
 	"errors"
 
 	"repro/internal/matching"
+	"repro/internal/parallel"
 	"repro/internal/stream"
 )
+
+// catchStreamPanics runs f, converting the typed *stream.ReadError
+// panic a FileSource sweep raises on I/O failure or frame corruption
+// into an ordinary error return — a bad or truncated file fails one
+// solve through the normal abort path (best-so-far Outcome, Finish
+// called) instead of taking down the process or a serving pool. The
+// error may arrive wrapped in a *parallel.JobPanic when the failing
+// sweep ran on a worker goroutine. Every other panic value is a
+// programmer error and is re-raised untouched.
+func catchStreamPanics(f func() error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if jp, ok := r.(*parallel.JobPanic); ok {
+			if re, ok := jp.Value.(*stream.ReadError); ok {
+				err = re
+				return
+			}
+		}
+		if re, ok := r.(*stream.ReadError); ok {
+			err = re
+			return
+		}
+		panic(r)
+	}()
+	return f()
+}
 
 // Algorithm is one matching substrate plugged into the driver's round
 // loop. The contract:
@@ -241,14 +271,18 @@ func DriveArena(ctx context.Context, alg Algorithm, src stream.Source, ext Exten
 		}
 		return out, err
 	}
-	if err := alg.Init(ctx, run, src); err != nil {
+	if err := catchStreamPanics(func() error { return alg.Init(ctx, run, src) }); err != nil {
 		return finish(err)
 	}
 	if err := run.Check(); err != nil {
 		return finish(err)
 	}
 	for {
-		done, err := alg.Round(ctx, run)
+		var done bool
+		err := catchStreamPanics(func() (err error) {
+			done, err = alg.Round(ctx, run)
+			return err
+		})
 		if err != nil {
 			return finish(err)
 		}

@@ -135,6 +135,7 @@ type ctxSource struct {
 }
 
 var _ stream.Source = (*ctxSource)(nil)
+var _ stream.BlockSweeper = (*ctxSource)(nil)
 
 func newCtxSource(ctx context.Context, src stream.Source) *ctxSource {
 	return &ctxSource{inner: src, ctx: ctx}
@@ -186,4 +187,40 @@ func (s *ctxSource) ForEachParallel(workers int, f func(idx int, e graph.Edge)) 
 // SweepParallel delegates to the inner source (see the type comment).
 func (s *ctxSource) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
 	s.inner.SweepParallel(workers, f)
+}
+
+// guardBlocks wraps a block callback with a per-block context check —
+// the block granule (at most BlockEdges edges) is the "constant number
+// of edges" the cancellation contract promises.
+func (s *ctxSource) guardBlocks(f func(base int, edges []graph.Edge) bool) func(base int, edges []graph.Edge) bool {
+	cancelled := false
+	return func(base int, edges []graph.Edge) bool {
+		if cancelled || s.ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
+		return f(base, edges)
+	}
+}
+
+// ForEachBlocks performs one guarded metered block pass, preserving the
+// inner source's native block shape (BlockSweeper contract).
+func (s *ctxSource) ForEachBlocks(f func(base int, edges []graph.Edge) bool) {
+	stream.ForEachBlocks(s.inner, s.guardBlocks(f))
+}
+
+// SweepBlocks is the guarded un-metered block sweep.
+func (s *ctxSource) SweepBlocks(f func(base int, edges []graph.Edge) bool) {
+	stream.SweepBlocks(s.inner, s.guardBlocks(f))
+}
+
+// ForEachBlocksParallel delegates to the inner source unguarded,
+// exactly like ForEachParallel (see the type comment).
+func (s *ctxSource) ForEachBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	stream.ForEachBlocksParallel(s.inner, workers, f)
+}
+
+// SweepBlocksParallel delegates to the inner source unguarded.
+func (s *ctxSource) SweepBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	stream.SweepBlocksParallel(s.inner, workers, f)
 }

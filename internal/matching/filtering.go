@@ -76,9 +76,11 @@ func filterCore(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccou
 		}
 		// Count survivors (one pass).
 		survivors := 0
-		s.ForEach(func(_ int, e graph.Edge) bool {
-			if alive(e) {
-				survivors++
+		stream.ForEachBlocks(s, func(_ int, edges []graph.Edge) bool {
+			for i := range edges {
+				if alive(edges[i]) {
+					survivors++
+				}
 			}
 			return true
 		})
@@ -97,9 +99,13 @@ func filterCore(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccou
 			e   graph.Edge
 		}
 		var sample []sampled
-		s.ForEach(func(idx int, e graph.Edge) bool {
-			if alive(e) && r.Bernoulli(prob) {
-				sample = append(sample, sampled{idx, e})
+		// Sequential blocks: the Bernoulli draws happen in edge order, so
+		// the sample is identical to the per-edge pass.
+		stream.ForEachBlocks(s, func(base int, edges []graph.Edge) bool {
+			for i := range edges {
+				if alive(edges[i]) && r.Bernoulli(prob) {
+					sample = append(sample, sampled{base + i, edges[i]})
+				}
 			}
 			return true
 		})
@@ -147,9 +153,11 @@ func filterCore(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccou
 // unweighted filtering routine restricted to still-free capacity.
 func WeightedFilter(s stream.Source, p float64, seed uint64, acct *stream.SpaceAccountant) (*Matching, FilterStats) {
 	maxW := 0.0
-	s.ForEach(func(_ int, e graph.Edge) bool {
-		if e.W > maxW {
-			maxW = e.W
+	stream.ForEachBlocks(s, func(_ int, edges []graph.Edge) bool {
+		for i := range edges {
+			if edges[i].W > maxW {
+				maxW = edges[i].W
+			}
 		}
 		return true
 	})
@@ -184,9 +192,11 @@ func WeightedFilter(s stream.Source, p float64, seed uint64, acct *stream.SpaceA
 				acct.BeginRound()
 			}
 			survivors := 0
-			s.ForEach(func(_ int, e graph.Edge) bool {
-				if inClass(e) {
-					survivors++
+			stream.ForEachBlocks(s, func(_ int, edges []graph.Edge) bool {
+				for i := range edges {
+					if inClass(edges[i]) {
+						survivors++
+					}
 				}
 				return true
 			})
@@ -202,9 +212,11 @@ func WeightedFilter(s stream.Source, p float64, seed uint64, acct *stream.SpaceA
 				e   graph.Edge
 			}
 			var sample []sampled
-			s.ForEach(func(idx int, e graph.Edge) bool {
-				if inClass(e) && r.Bernoulli(prob) {
-					sample = append(sample, sampled{idx, e})
+			stream.ForEachBlocks(s, func(base int, edges []graph.Edge) bool {
+				for i := range edges {
+					if inClass(edges[i]) && r.Bernoulli(prob) {
+						sample = append(sample, sampled{base + i, edges[i]})
+					}
 				}
 				return true
 			})

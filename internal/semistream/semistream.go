@@ -83,8 +83,10 @@ func (g *GreedyState) Weight() float64 { return g.weight }
 // edge is taken iff both endpoints are currently free.
 func OnePassGreedy(s stream.Source) *matching.Matching {
 	st := NewGreedyState(s.N())
-	s.ForEach(func(idx int, e graph.Edge) bool {
-		st.Offer(idx, e)
+	stream.ForEachBlocks(s, func(base int, edges []graph.Edge) bool {
+		for i := range edges {
+			st.Offer(base+i, edges[i])
+		}
 		return true
 	})
 	return st.Matching()
@@ -101,29 +103,10 @@ func OnePassReplace(s stream.Source, gamma float64) *matching.Matching {
 		matchEdge[i] = -1
 	}
 	inM := make(map[int]graph.Edge)
-	s.ForEach(func(idx int, e graph.Edge) bool {
-		cu, cv := matchEdge[e.U], matchEdge[e.V]
-		conflict := 0.0
-		if cu >= 0 {
-			conflict += weightAt[e.U]
-		}
-		if cv >= 0 && cv != cu {
-			conflict += weightAt[e.V]
-		}
-		if e.W >= (1+gamma)*conflict {
-			if cu >= 0 {
-				old := inM[cu]
-				matchEdge[old.U], matchEdge[old.V] = -1, -1
-				delete(inM, cu)
-			}
-			if cv >= 0 && cv != cu {
-				old := inM[cv]
-				matchEdge[old.U], matchEdge[old.V] = -1, -1
-				delete(inM, cv)
-			}
-			matchEdge[e.U], matchEdge[e.V] = idx, idx
-			weightAt[e.U], weightAt[e.V] = e.W, e.W
-			inM[idx] = e
+	stream.ForEachBlocks(s, func(base int, edges []graph.Edge) bool {
+		for i := range edges {
+			idx, e := base+i, edges[i]
+			offerReplace(idx, e, matchEdge, weightAt, inM, gamma)
 		}
 		return true
 	})
@@ -133,6 +116,33 @@ func OnePassReplace(s stream.Source, gamma float64) *matching.Matching {
 	}
 	slices.Sort(out.EdgeIdx)
 	return out
+}
+
+// offerReplace applies one edge of McGregor's replacement rule.
+func offerReplace(idx int, e graph.Edge, matchEdge []int, weightAt []float64, inM map[int]graph.Edge, gamma float64) {
+	cu, cv := matchEdge[e.U], matchEdge[e.V]
+	conflict := 0.0
+	if cu >= 0 {
+		conflict += weightAt[e.U]
+	}
+	if cv >= 0 && cv != cu {
+		conflict += weightAt[e.V]
+	}
+	if e.W >= (1+gamma)*conflict {
+		if cu >= 0 {
+			old := inM[cu]
+			matchEdge[old.U], matchEdge[old.V] = -1, -1
+			delete(inM, cu)
+		}
+		if cv >= 0 && cv != cu {
+			old := inM[cv]
+			matchEdge[old.U], matchEdge[old.V] = -1, -1
+			delete(inM, cv)
+		}
+		matchEdge[e.U], matchEdge[e.V] = idx, idx
+		weightAt[e.U], weightAt[e.V] = e.W, e.W
+		inM[idx] = e
+	}
 }
 
 // ShortAugmentPasses improves a matching by resolving vertex-disjoint
@@ -178,11 +188,13 @@ func AugmentRound(s stream.Source, cur map[int]bool) (bool, float64) {
 		matchAt[i] = -1
 	}
 	edgeOf := make(map[int]graph.Edge, len(cur))
-	s.ForEach(func(idx int, e graph.Edge) bool {
-		if cur[idx] {
-			matchAt[e.U] = idx
-			matchAt[e.V] = idx
-			edgeOf[idx] = e
+	stream.ForEachBlocks(s, func(base int, edges []graph.Edge) bool {
+		for i := range edges {
+			if idx := base + i; cur[idx] {
+				matchAt[edges[i].U] = idx
+				matchAt[edges[i].V] = idx
+				edgeOf[idx] = edges[i]
+			}
 		}
 		return true
 	})
@@ -197,29 +209,32 @@ func AugmentRound(s stream.Source, cur map[int]bool) (bool, float64) {
 	}
 	byMatched := map[int]*wings{}
 	freeTaken := make([]bool, n)
-	s.ForEach(func(idx int, e graph.Edge) bool {
-		if cur[idx] {
-			return true
-		}
-		fu, fv := matchAt[e.U] == -1, matchAt[e.V] == -1
-		if fu == fv {
-			return true // both free (matching not maximal) or both matched
-		}
-		free, anchored := e.U, e.V
-		if fv {
-			free, anchored = e.V, e.U
-		}
-		mi := matchAt[anchored]
-		w := byMatched[mi]
-		if w == nil {
-			me := edgeOf[mi]
-			w = &wings{uWing: -1, vWing: -1, matched: me, matchedIdx: mi}
-			byMatched[mi] = w
-		}
-		if anchored == w.matched.U && w.uWing == -1 {
-			w.uWing, w.uFree, w.uW = idx, free, e.W
-		} else if anchored == w.matched.V && w.vWing == -1 {
-			w.vWing, w.vFree, w.vW = idx, free, e.W
+	stream.ForEachBlocks(s, func(base int, edges []graph.Edge) bool {
+		for i := range edges {
+			idx, e := base+i, edges[i]
+			if cur[idx] {
+				continue
+			}
+			fu, fv := matchAt[e.U] == -1, matchAt[e.V] == -1
+			if fu == fv {
+				continue // both free (matching not maximal) or both matched
+			}
+			free, anchored := e.U, e.V
+			if fv {
+				free, anchored = e.V, e.U
+			}
+			mi := matchAt[anchored]
+			w := byMatched[mi]
+			if w == nil {
+				me := edgeOf[mi]
+				w = &wings{uWing: -1, vWing: -1, matched: me, matchedIdx: mi}
+				byMatched[mi] = w
+			}
+			if anchored == w.matched.U && w.uWing == -1 {
+				w.uWing, w.uFree, w.uW = idx, free, e.W
+			} else if anchored == w.matched.V && w.vWing == -1 {
+				w.vWing, w.vFree, w.vW = idx, free, e.W
+			}
 		}
 		return true
 	})

@@ -39,6 +39,16 @@ func (g *gatedSource) ForEachParallel(workers int, f func(int, graph.Edge)) {
 	g.EdgeStream.ForEachParallel(workers, f)
 }
 
+func (g *gatedSource) ForEachBlocks(f func(int, []graph.Edge) bool) {
+	<-g.gate
+	g.EdgeStream.ForEachBlocks(f)
+}
+
+func (g *gatedSource) ForEachBlocksParallel(workers int, f func(int, []graph.Edge)) {
+	<-g.gate
+	g.EdgeStream.ForEachBlocksParallel(workers, f)
+}
+
 // gatedJob hand-builds an admitted job around a gated source, skipping
 // the wire codec (the codec cannot express a blocking source).
 func gatedJob(s *Server, gate <-chan struct{}, seed uint64) *job {

@@ -128,8 +128,10 @@ func (b *Bank) AddEdgesSource(src stream.Source, workers int) {
 	shards := parallel.Shards(b.spec.n, parallel.Workers(workers))
 	if len(shards) <= 1 {
 		// Sequential: skip the bucketing pass entirely.
-		src.ForEach(func(_ int, e graph.Edge) bool {
-			b.AddEdge(e.U, e.V)
+		stream.ForEachBlocks(src, func(_ int, edges []graph.Edge) bool {
+			for i := range edges {
+				b.AddEdge(edges[i].U, edges[i].V)
+			}
 			return true
 		})
 		return
@@ -149,19 +151,22 @@ func (b *Bank) AddEdgesSource(src stream.Source, workers int) {
 		}
 		staged = 0
 	}
-	src.ForEach(func(_ int, e graph.Edge) bool {
-		if e.U == e.V {
-			panic("sketch: self loop")
-		}
-		key := graph.KeyOf(e.U, e.V)
-		lo, hi := e.U, e.V
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		buckets[shardOf[lo]] = append(buckets[shardOf[lo]], bankUpd{v: lo, delta: 1, key: key})
-		buckets[shardOf[hi]] = append(buckets[shardOf[hi]], bankUpd{v: hi, delta: -1, key: key})
-		if staged++; staged == bankSourceChunk {
-			flush()
+	stream.ForEachBlocks(src, func(_ int, edges []graph.Edge) bool {
+		for i := range edges {
+			e := edges[i]
+			if e.U == e.V {
+				panic("sketch: self loop")
+			}
+			key := graph.KeyOf(e.U, e.V)
+			lo, hi := e.U, e.V
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			buckets[shardOf[lo]] = append(buckets[shardOf[lo]], bankUpd{v: lo, delta: 1, key: key})
+			buckets[shardOf[hi]] = append(buckets[shardOf[hi]], bankUpd{v: hi, delta: -1, key: key})
+			if staged++; staged == bankSourceChunk {
+				flush()
+			}
 		}
 		return true
 	})

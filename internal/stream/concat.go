@@ -117,6 +117,54 @@ func (c *ConcatSource) ForEachParallel(workers int, f func(idx int, e graph.Edge
 	c.SweepParallel(workers, f)
 }
 
+// ForEachBlocks performs one metered pass over the sub-sources in
+// order, in dense blocks (BlockSweeper contract). Each sub-source's
+// blocks are shifted by its offset, so dense runs stay dense.
+func (c *ConcatSource) ForEachBlocks(f func(base int, edges []graph.Edge) bool) {
+	c.pass()
+	c.SweepBlocks(f)
+}
+
+// SweepBlocks is ForEachBlocks without the pass charge.
+func (c *ConcatSource) SweepBlocks(f func(base int, edges []graph.Edge) bool) {
+	for si, sub := range c.subs {
+		off := c.offsets[si]
+		aborted := false
+		SweepBlocks(sub, func(base int, edges []graph.Edge) bool {
+			if !f(off+base, edges) {
+				aborted = true
+				return false
+			}
+			return true
+		})
+		if aborted {
+			return
+		}
+	}
+}
+
+// ForEachBlocksParallel performs one metered pass with the sub-sources
+// swept concurrently, each delivering blocks through its own sharded
+// block sweep (BlockSweeper contract).
+func (c *ConcatSource) ForEachBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	c.pass()
+	c.SweepBlocksParallel(workers, f)
+}
+
+// SweepBlocksParallel is ForEachBlocksParallel without the pass charge.
+func (c *ConcatSource) SweepBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	inner := parallel.Workers(workers) / len(c.subs)
+	if inner < 1 {
+		inner = 1
+	}
+	parallel.Run(workers, len(c.subs), func(si int) {
+		off := c.offsets[si]
+		SweepBlocksParallel(c.subs[si], inner, func(base int, edges []graph.Edge) {
+			f(off+base, edges)
+		})
+	})
+}
+
 // SweepParallel is ForEachParallel without the pass charge.
 func (c *ConcatSource) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
 	inner := parallel.Workers(workers) / len(c.subs)

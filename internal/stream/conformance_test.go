@@ -158,6 +158,104 @@ func runConformance(t *testing.T, mk func(t *testing.T) Source, dense bool) {
 		}
 	})
 
+	t.Run("blocks-concatenate", func(t *testing.T) {
+		s := mk(t)
+		ref := collect(s.Sweep)
+		var got []idxEdge
+		ForEachBlocks(s, func(base int, edges []graph.Edge) bool {
+			if len(edges) == 0 {
+				t.Fatal("empty block delivered")
+			}
+			if len(edges) > BlockEdges {
+				t.Fatalf("block of %d edges exceeds BlockEdges", len(edges))
+			}
+			for i := range edges {
+				got = append(got, idxEdge{base + i, edges[i]})
+			}
+			return true
+		})
+		if s.Passes() != 1 {
+			t.Fatalf("one block pass counted %d passes", s.Passes())
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatal("block pass does not concatenate to the per-edge sweep")
+		}
+		var raw []idxEdge
+		SweepBlocks(s, func(base int, edges []graph.Edge) bool {
+			for i := range edges {
+				raw = append(raw, idxEdge{base + i, edges[i]})
+			}
+			return true
+		})
+		if s.Passes() != 1 {
+			t.Fatalf("raw SweepBlocks advanced the pass counter to %d", s.Passes())
+		}
+		if !reflect.DeepEqual(raw, ref) {
+			t.Fatal("SweepBlocks and Sweep enumerate different sequences")
+		}
+	})
+
+	t.Run("blocks-early-abort", func(t *testing.T) {
+		s := mk(t)
+		blocks := 0
+		ForEachBlocks(s, func(int, []graph.Edge) bool {
+			blocks++
+			return false
+		})
+		if s.Len() > 0 && blocks != 1 {
+			t.Fatalf("aborted block pass delivered %d blocks, want 1", blocks)
+		}
+		if s.Passes() != 1 {
+			t.Fatalf("aborted block pass counted %d passes, want exactly 1", s.Passes())
+		}
+		total := 0
+		ForEachBlocks(s, func(_ int, edges []graph.Edge) bool {
+			total += len(edges)
+			return true
+		})
+		if total != s.Len() {
+			t.Fatalf("block pass after abort yielded %d of %d edges", total, s.Len())
+		}
+	})
+
+	t.Run("blocks-parallel-equivalence", func(t *testing.T) {
+		s := mk(t)
+		ref := collect(s.Sweep)
+		byIdx := make(map[int]graph.Edge, len(ref))
+		for _, ie := range ref {
+			byIdx[ie.idx] = ie.e
+		}
+		for _, workers := range []int{1, 2, 3, 7, 0} {
+			fresh := mk(t)
+			ch := make(chan idxEdge, len(ref)+1)
+			ForEachBlocksParallel(fresh, workers, func(base int, edges []graph.Edge) {
+				for i := range edges {
+					ch <- idxEdge{base + i, edges[i]}
+				}
+			})
+			close(ch)
+			if fresh.Passes() != 1 {
+				t.Fatalf("workers=%d: parallel block pass counted %d passes", workers, fresh.Passes())
+			}
+			var got []idxEdge
+			for ie := range ch {
+				got = append(got, ie)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("workers=%d: block pass visited %d edges, want %d", workers, len(got), len(ref))
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i].idx < got[j].idx })
+			for i, ie := range got {
+				if i > 0 && got[i-1].idx == ie.idx {
+					t.Fatalf("workers=%d: idx %d visited twice", workers, ie.idx)
+				}
+				if want, ok := byIdx[ie.idx]; !ok || want != ie.e {
+					t.Fatalf("workers=%d: idx %d has edge %+v, sequential %+v", workers, ie.idx, ie.e, want)
+				}
+			}
+		}
+	})
+
 	t.Run("random-access", func(t *testing.T) {
 		s := mk(t)
 		ra, ok := s.(RandomAccess)
@@ -210,6 +308,67 @@ func TestConformanceFileSource(t *testing.T) {
 		t.Cleanup(func() { src.Close() })
 		return src
 	}, true)
+}
+
+// multiFrameGraph is big enough that an RBG2 encoding spans several
+// frames (and a block sweep spans several blocks).
+func multiFrameGraph() *graph.Graph {
+	g := graph.GNM(50, 2*bin2BlockLen+bin2BlockLen/2+17,
+		graph.WeightConfig{Mode: graph.UniformWeights, WMax: 12}, 99)
+	graph.WithRandomB(g, 3, false, 100)
+	return g
+}
+
+func bin2Fixture(t *testing.T, src Source) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "edges.rbg2")
+	if err := WriteBinaryFile2(path, src); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConformanceFileSourceRBG2(t *testing.T) {
+	path := bin2Fixture(t, NewEdgeStream(multiFrameGraph()))
+	runConformance(t, func(t *testing.T) Source {
+		src, err := OpenBinary(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Version() != 2 {
+			t.Fatalf("auto-detected version %d, want 2", src.Version())
+		}
+		t.Cleanup(func() { src.Close() })
+		return src
+	}, true)
+}
+
+func TestConformanceFileSourceNoMmap(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		write func(string, Source) error
+	}{
+		{"rbg1", WriteBinaryFile},
+		{"rbg2", WriteBinaryFile2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "edges.bin")
+			if err := tc.write(path, NewEdgeStream(multiFrameGraph())); err != nil {
+				t.Fatal(err)
+			}
+			runConformance(t, func(t *testing.T) Source {
+				src, err := OpenBinaryWith(path, OpenOptions{NoMmap: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if src.Mapped() {
+					t.Fatal("NoMmap source is mapped")
+				}
+				t.Cleanup(func() { src.Close() })
+				return src
+			}, true)
+		})
+	}
 }
 
 func TestConformanceGenSource(t *testing.T) {
@@ -374,6 +533,146 @@ func TestBinaryUnitCapacitiesOmitTable(t *testing.T) {
 	if src.TotalB() != g.N() {
 		t.Fatalf("TotalB %d, want %d", src.TotalB(), g.N())
 	}
+}
+
+func TestBinary2RoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"small-caps", conformanceGraph()},
+		{"multi-frame", multiFrameGraph()},
+		{"unit-weights", graph.GNM(40, bin2BlockLen+100, graph.WeightConfig{}, 7)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := bin2Fixture(t, NewEdgeStream(tc.g))
+			src, err := OpenBinary(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			if src.N() != tc.g.N() || src.Len() != tc.g.M() || src.TotalB() != tc.g.TotalB() {
+				t.Fatalf("header mismatch: n=%d m=%d B=%d", src.N(), src.Len(), src.TotalB())
+			}
+			got := Materialize(src)
+			if !reflect.DeepEqual(got.Edges(), tc.g.Edges()) {
+				t.Fatal("RBG2 round trip changed the edge list")
+			}
+			for v := 0; v < tc.g.N(); v++ {
+				if got.B(v) != tc.g.B(v) {
+					t.Fatalf("capacity of %d differs after round trip", v)
+				}
+			}
+		})
+	}
+}
+
+func TestBinary2CompressionRatio(t *testing.T) {
+	// Unit weights are the common out-of-core case (E13/E15 regime):
+	// the frame spends ~2 varint endpoints and zero weight bytes per
+	// edge, which must come in well under RBG1's flat 16 bytes.
+	g := graph.GNM(5000, 3*bin2BlockLen, graph.WeightConfig{}, 11)
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "g.rbg")
+	p2 := filepath.Join(dir, "g.rbg2")
+	if err := WriteBinaryFile(p1, NewEdgeStream(g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryFile2(p2, NewEdgeStream(g)); err != nil {
+		t.Fatal(err)
+	}
+	fi1, err := os.Stat(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi2, err := os.Stat(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.Size() > fi1.Size()*7/10 {
+		t.Fatalf("RBG2 is %d bytes vs RBG1 %d — want >= 30%% smaller", fi2.Size(), fi1.Size())
+	}
+}
+
+func TestOpenBinary2RejectsCorruption(t *testing.T) {
+	path := bin2Fixture(t, NewEdgeStream(multiFrameGraph()))
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangle := func(name string, f func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			bad := f(append([]byte(nil), valid...))
+			p := filepath.Join(t.TempDir(), "bad.rbg2")
+			if err := os.WriteFile(p, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			src, err := OpenBinaryWith(p, OpenOptions{NoMmap: true})
+			if err != nil {
+				return // rejected at open: fine
+			}
+			defer src.Close()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("corrupt frame swept without a typed panic")
+				}
+				if _, ok := r.(*ReadError); !ok {
+					t.Fatalf("sweep panicked with %T, want *ReadError", r)
+				}
+			}()
+			src.Sweep(func(int, graph.Edge) bool { return true })
+		})
+	}
+	mangle("truncated-half", func(b []byte) []byte { return b[:len(b)/2] })
+	mangle("truncated-trailer", func(b []byte) []byte { return b[:len(b)-4] })
+	mangle("bad-trailer-magic", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b })
+	mangle("bad-block-len", func(b []byte) []byte {
+		// blockLen is a u32 at offset 24; zero it entirely.
+		for i := 24; i < 28; i++ {
+			b[i] = 0
+		}
+		return b
+	})
+	mangle("frame-corrupt", func(b []byte) []byte {
+		// Flip a byte in the middle of the first frame's payload.
+		b[bin2HeaderSize+4*50+20] ^= 0xff
+		return b
+	})
+	mangle("huge-m", func(b []byte) []byte {
+		for i := 16; i < 24; i++ {
+			b[i] = 0xff
+		}
+		return b
+	})
+}
+
+// TestFileSourceReadErrorTyped checks satellite behavior: an I/O
+// failure mid-solve surfaces as a typed *ReadError panic, not a bare
+// fmt panic (the engine converts it to an error; see the engine tests).
+func TestFileSourceReadErrorTyped(t *testing.T) {
+	path := binFixture(t, NewEdgeStream(conformanceGraph()))
+	src, err := OpenBinaryWith(path, OpenOptions{NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// Truncate the file underneath the open handle: the next sweep's
+	// ReadAt fails with io.EOF territory errors.
+	if err := os.Truncate(path, 30); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		re, ok := r.(*ReadError)
+		if !ok {
+			t.Fatalf("sweep panicked with %T (%v), want *ReadError", r, r)
+		}
+		if re.Path != path || re.Err == nil {
+			t.Fatalf("ReadError missing context: %+v", re)
+		}
+	}()
+	src.Sweep(func(int, graph.Edge) bool { return true })
 }
 
 func TestOpenBinaryRejectsGarbage(t *testing.T) {

@@ -92,3 +92,37 @@ func (s *Filtered) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
 		}
 	})
 }
+
+// ForEachBlocks performs one metered pass over the matching edges in
+// dense blocks (BlockSweeper contract): each parent block is split
+// into the maximal runs of kept edges and every run is delivered as a
+// zero-copy sub-slice, so the sparse-index subsequence still arrives
+// as dense blocks.
+func (s *Filtered) ForEachBlocks(f func(base int, edges []graph.Edge) bool) {
+	s.pass()
+	s.SweepBlocks(f)
+}
+
+// SweepBlocks is ForEachBlocks without the pass charge.
+func (s *Filtered) SweepBlocks(f func(base int, edges []graph.Edge) bool) {
+	SweepBlocks(s.parent, func(base int, edges []graph.Edge) bool {
+		return filterBlocks(base, edges, s.keep, f)
+	})
+}
+
+// ForEachBlocksParallel performs one metered pass over the matching
+// edges with blocks sharded by the parent (BlockSweeper contract).
+func (s *Filtered) ForEachBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	s.pass()
+	s.SweepBlocksParallel(workers, f)
+}
+
+// SweepBlocksParallel is ForEachBlocksParallel without the pass charge.
+func (s *Filtered) SweepBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	SweepBlocksParallel(s.parent, workers, func(base int, edges []graph.Edge) {
+		filterBlocks(base, edges, s.keep, func(b int, blk []graph.Edge) bool {
+			f(b, blk)
+			return true
+		})
+	})
+}

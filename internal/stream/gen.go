@@ -170,3 +170,69 @@ func (s *GenSource) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
 		})
 	})
 }
+
+// sweepRangeBlocks replays edges [lo, hi) in dense blocks. Replay
+// blocks map one-to-one onto delivered blocks (BlockEdges equals the
+// replay granule), regenerated into scratch, which the callback must
+// not retain. The first touched block's prefix is regenerated and
+// discarded, exactly like sweepRange.
+func (s *GenSource) sweepRangeBlocks(lo, hi int, scratch []graph.Edge, f func(base int, edges []graph.Edge) bool) {
+	for b := lo / genBlockEdges; b*genBlockEdges < hi; b++ {
+		blockLo := b * genBlockEdges
+		blockHi := blockLo + genBlockEdges
+		if blockHi > s.spec.M {
+			blockHi = s.spec.M
+		}
+		emitLo, emitHi := blockLo, blockHi
+		if emitLo < lo {
+			emitLo = lo
+		}
+		if emitHi > hi {
+			emitHi = hi
+		}
+		if emitLo >= emitHi {
+			continue
+		}
+		r := s.blockRNG(b)
+		for i := blockLo; i < emitLo; i++ {
+			s.drawEdge(r) // burn the block prefix to stay aligned
+		}
+		blk := scratch[:emitHi-emitLo]
+		for i := range blk {
+			blk[i] = s.drawEdge(r)
+		}
+		if !f(emitLo, blk) {
+			return
+		}
+	}
+}
+
+// ForEachBlocks performs one metered replayed pass in dense blocks
+// (BlockSweeper contract).
+func (s *GenSource) ForEachBlocks(f func(base int, edges []graph.Edge) bool) {
+	s.pass()
+	s.SweepBlocks(f)
+}
+
+// SweepBlocks is ForEachBlocks without the pass charge.
+func (s *GenSource) SweepBlocks(f func(base int, edges []graph.Edge) bool) {
+	s.sweepRangeBlocks(0, s.spec.M, make([]graph.Edge, genBlockEdges), f)
+}
+
+// ForEachBlocksParallel performs one metered pass with blocks sharded
+// by edge range; each worker regenerates its own blocks into its own
+// scratch (BlockSweeper contract).
+func (s *GenSource) ForEachBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	s.pass()
+	s.SweepBlocksParallel(workers, f)
+}
+
+// SweepBlocksParallel is ForEachBlocksParallel without the pass charge.
+func (s *GenSource) SweepBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	parallel.ForEachShard(workers, s.spec.M, func(_ int, r parallel.Range) {
+		s.sweepRangeBlocks(r.Lo, r.Hi, make([]graph.Edge, genBlockEdges), func(base int, edges []graph.Edge) bool {
+			f(base, edges)
+			return true
+		})
+	})
+}

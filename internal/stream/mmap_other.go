@@ -1,0 +1,20 @@
+//go:build !linux && !darwin
+
+package stream
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; FileSource keeps the
+// ReadAt path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("stream: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) {}
+
+func adviseSequential(data []byte) {}
+
+func adviseWillNeed(data []byte) {}

@@ -1,0 +1,55 @@
+//go:build linux || darwin
+
+package stream
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapFile maps the whole file read-only. Empty files are rejected
+// (mmap of length 0 is an error; callers fall back to ReadAt).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("stream: cannot map %d bytes", size)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("stream: file of %d bytes exceeds address space", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile (best effort).
+func munmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}
+
+// adviseSequential hints that the mapping will be read front to back.
+func adviseSequential(data []byte) {
+	_ = madvise(data, madvSequential)
+}
+
+// adviseWillNeed hints that the range is about to be read, so the
+// kernel can page it in while the current block decodes.
+func adviseWillNeed(data []byte) {
+	_ = madvise(data, madvWillNeed)
+}
+
+const (
+	madvSequential = 2
+	madvWillNeed   = 3
+)
+
+func madvise(b []byte, advice int) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MADVISE,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(advice))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

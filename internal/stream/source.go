@@ -96,8 +96,10 @@ func Materialize(src Source) *graph.Graph {
 			g.SetB(v, b)
 		}
 	}
-	src.ForEach(func(_ int, e graph.Edge) bool {
-		g.MustAddEdge(int(e.U), int(e.V), e.W)
+	ForEachBlocks(src, func(_ int, edges []graph.Edge) bool {
+		for i := range edges {
+			g.MustAddEdge(int(edges[i].U), int(edges[i].V), edges[i].W)
+		}
 		return true
 	})
 	return g
@@ -108,9 +110,11 @@ func Materialize(src Source) *graph.Graph {
 // other pass can classify edges by level.
 func MaxWeight(src Source) float64 {
 	w := 0.0
-	src.ForEach(func(_ int, e graph.Edge) bool {
-		if e.W > w {
-			w = e.W
+	ForEachBlocks(src, func(_ int, edges []graph.Edge) bool {
+		for i := range edges {
+			if edges[i].W > w {
+				w = edges[i].W
+			}
 		}
 		return true
 	})

@@ -93,6 +93,38 @@ func (s *EdgeStream) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
 	})
 }
 
+// ForEachBlocks performs one metered pass in dense blocks
+// (BlockSweeper contract). Blocks are zero-copy sub-slices of the
+// materialized edge list.
+func (s *EdgeStream) ForEachBlocks(f func(base int, edges []graph.Edge) bool) {
+	s.pass()
+	s.SweepBlocks(f)
+}
+
+// SweepBlocks is ForEachBlocks without the pass charge.
+func (s *EdgeStream) SweepBlocks(f func(base int, edges []graph.Edge) bool) {
+	edges := s.g.Edges()
+	sliceBlocks(edges, 0, len(edges), f)
+}
+
+// ForEachBlocksParallel performs one metered pass with blocks sharded
+// by edge range across workers (BlockSweeper contract).
+func (s *EdgeStream) ForEachBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	s.pass()
+	s.SweepBlocksParallel(workers, f)
+}
+
+// SweepBlocksParallel is ForEachBlocksParallel without the pass charge.
+func (s *EdgeStream) SweepBlocksParallel(workers int, f func(base int, edges []graph.Edge)) {
+	edges := s.g.Edges()
+	parallel.ForEachShard(workers, len(edges), func(_ int, r parallel.Range) {
+		sliceBlocks(edges, r.Lo, r.Hi, func(base int, blk []graph.Edge) bool {
+			f(base, blk)
+			return true
+		})
+	})
+}
+
 // SpaceAccountant tracks words of central storage in use, its peak, and
 // the number of adaptive access rounds. All methods are safe for
 // concurrent use.

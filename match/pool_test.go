@@ -217,6 +217,16 @@ func (g *gatedSource) ForEachParallel(workers int, f func(int, graph.Edge)) {
 	g.EdgeStream.ForEachParallel(workers, f)
 }
 
+func (g *gatedSource) ForEachBlocks(f func(int, []graph.Edge) bool) {
+	<-g.gate
+	g.EdgeStream.ForEachBlocks(f)
+}
+
+func (g *gatedSource) ForEachBlocksParallel(workers int, f func(int, []graph.Edge)) {
+	<-g.gate
+	g.EdgeStream.ForEachBlocksParallel(workers, f)
+}
+
 // waitStats polls until the pool snapshot satisfies ok (the pool keeps
 // moving between Submit and a session pickup, so the test must wait for
 // the state to settle rather than assert it instantaneously).
