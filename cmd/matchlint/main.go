@@ -1,0 +1,105 @@
+// Command matchlint runs the repo-invariant static analyzers from
+// internal/analysis over one or more Go package patterns.
+//
+// Usage:
+//
+//	matchlint [-only name[,name]] [-list] [patterns...]
+//
+// With no patterns it checks ./... relative to the current directory.
+// Output is vet-style, one line per finding:
+//
+//	path/file.go:12:2: [maprange] range over map m iterates in randomized order; ...
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on a
+// loader or usage error. Type errors in the analyzed packages are
+// reported and also exit 2: the analyzers need well-typed input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("matchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "matchlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	units, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "matchlint: %v\n", err)
+		return 2
+	}
+
+	broken := false
+	for _, u := range units {
+		for _, te := range u.TypeErrors {
+			fmt.Fprintf(stderr, "matchlint: type error in %s: %v\n", u.Path, te)
+			broken = true
+		}
+	}
+	if broken {
+		return 2
+	}
+
+	diags, err := analysis.RunAll(units, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "matchlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "matchlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestDirtyModule runs the CLI against the fixture module, whose one
+// source file violates maprange, noclock, and errwrapbudget.
+func TestDirtyModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/dirtymod", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"[maprange]", "[noclock]", "[errwrapbudget]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing a %s finding:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n != 3 {
+		t.Errorf("got %d findings, want 3:\n%s", n, out)
+	}
+}
+
+func TestOnlyFlagFilters(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/dirtymod", "-only", "noclock", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if strings.Count(out, "\n") != 1 || !strings.Contains(out, "[noclock]") {
+		t.Errorf("-only noclock should report exactly the clock finding:\n%s", out)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean is the enforcement point: the whole repository must
+// pass every analyzer, so a regression fails tier-1 `go test ./...`
+// even when nobody remembers to run `make lint`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full repo")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../.."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("matchlint over the repo exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}

@@ -1,0 +1,25 @@
+// Package core is a deliberately dirty fixture: every function below
+// violates one repo invariant, and the matchlint CLI test asserts the
+// binary reports each of them and exits 1.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+func SumInMapOrder(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func TimedRound() time.Time {
+	return time.Now()
+}
+
+func LossyWrap(err error) error {
+	return fmt.Errorf("round failed: %v", err)
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrWrapBudget(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/lp", analysis.ErrWrapBudget)
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader resolves packages with `go list -deps -test -export -json`:
+// the go tool compiles (or reuses from the build cache) export data for
+// every dependency — standard library included — and we type-check each
+// target package's syntax against that export data with the stock gc
+// importer. This keeps the framework dependency-free (no
+// golang.org/x/tools) and works fully offline; the only requirement is
+// that the tree compiles, which the tier-1 gate guarantees anyway.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir            string
+	ImportPath     string
+	Export         string
+	ForTest        string
+	Standard       bool
+	GoFiles        []string
+	TestGoFiles    []string
+	XTestGoFiles   []string
+	DepsErrors     []*listPkgError
+	Error          *listPkgError
+	IgnoredGoFiles []string
+}
+
+type listPkgError struct {
+	Err string
+}
+
+// Load lists the packages matching patterns from dir (the module root or
+// any directory inside it) and returns one type-checked Unit per package
+// — in-package test files are checked together with the library files,
+// and external _test packages form their own Unit with a _test suffix on
+// the path.
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-test", "-export",
+		"-json=ImportPath,Export,Standard,ForTest,Dir,GoFiles,TestGoFiles,XTestGoFiles,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+
+	// exports maps import path -> export data file. Test variants of a
+	// package appear as `path [path.test]`; they are recorded under that
+	// spelling and consulted only when checking that package's external
+	// test unit.
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s", p.Error.Err)
+		}
+		if p.Export != "" {
+			if _, dup := exports[p.ImportPath]; !dup {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+		// Targets are the module's own plain packages (not test variants,
+		// not synthesized .test mains, not the standard library).
+		if !p.Standard && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") && !strings.Contains(p.ImportPath, " ") {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("go list matched no packages")
+	}
+
+	fset := token.NewFileSet()
+	var units []*Unit
+	for _, t := range targets {
+		lib, err := checkUnit(fset, t.ImportPath, t.Dir,
+			append(append([]string{}, t.GoFiles...), t.TestGoFiles...),
+			exports, nil)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, lib)
+		if len(t.XTestGoFiles) > 0 {
+			// The external test package imports the library package; when
+			// in-package test files add declarations the x_test files use,
+			// those live in the test-variant export data, so prefer it.
+			override := map[string]string{}
+			variant := t.ImportPath + " [" + t.ImportPath + ".test]"
+			if f, ok := exports[variant]; ok {
+				override[t.ImportPath] = f
+			}
+			xt, err := checkUnit(fset, t.ImportPath+"_test", t.Dir, t.XTestGoFiles, exports, override)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, xt)
+		}
+	}
+	return units, nil
+}
+
+// checkUnit parses and type-checks one set of files as a package unit.
+func checkUnit(fset *token.FileSet, path, dir string, files []string, exports, override map[string]string) (*Unit, error) {
+	u := &Unit{Path: path, Fset: fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		u.Files = append(u.Files, f)
+	}
+	lookup := func(p string) (io.ReadCloser, error) {
+		if f, ok := override[p]; ok {
+			return os.Open(f)
+		}
+		if f, ok := exports[p]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", p)
+	}
+	// A fresh importer per unit: the gc importer caches packages by path,
+	// and the test-variant override must not leak between units.
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { u.TypeErrors = append(u.TypeErrors, err) },
+	}
+	u.Info = NewInfo()
+	pkg, _ := conf.Check(path, fset, u.Files, u.Info)
+	u.Pkg = pkg
+	return u, nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPkgs are the packages whose outputs must be pure
+// functions of their inputs: the solver core and its substrates (the
+// bit-identical-across-worker-counts contract of DESIGN.md §5), plus the
+// low-traffic model packages whose results feed pinned experiment
+// tables. Inside them, a bare `range` over a map is a determinism bug
+// waiting to happen — Go randomizes map iteration order per statement
+// execution, so any order-sensitive consumption (float accumulation
+// across keys, first-wins selection, append-then-use) varies run to run.
+var DeterministicPkgs = []string{
+	"repro/internal/core",
+	"repro/internal/sparsify",
+	"repro/internal/sketch",
+	"repro/internal/semistream",
+	"repro/internal/levels",
+	"repro/internal/oddset",
+	"repro/internal/lp",
+	"repro/internal/mapreduce",
+	"repro/internal/congest",
+	"repro/internal/pack",
+}
+
+// MapRange reports `range` statements over map values in the
+// deterministic packages. Sites whose consumption is genuinely
+// order-insensitive (per-key writes, commutative integer accumulation,
+// collect-then-sort) carry a //lint:ordered justification; everything
+// else must iterate sorted keys.
+var MapRange = &Analyzer{
+	Name:     "maprange",
+	Doc:      "flags bare range-over-map in the deterministic packages (core, sparsify, sketch, semistream, levels, oddset, lp, mapreduce, congest, pack); sort the keys first or justify with //lint:ordered",
+	Suppress: "ordered",
+	Run:      runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	if !inScope(pass.PkgPath(), DeterministicPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.For, "range over map %s iterates in randomized order; sort the keys first or justify with //lint:ordered", exprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprString renders simple expressions for diagnostics (identifier or
+// dotted selector); anything more complex degrades to "expression".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "expression"
+}

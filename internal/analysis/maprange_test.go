@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapRange(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/core", analysis.MapRange)
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4: %v", len(diags), diags)
+	}
+}
+
+func TestMapRangeOutOfScope(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/serve", analysis.MapRange)
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// streamPkg is where the metered Source abstraction and its raw sweep
+// primitives live; derived views there legitimately forward Sweep.
+const streamPkg = "repro/internal/stream"
+
+// MeteredSweep keeps the paper's central meter unforgeable: outside
+// internal/stream, calling a Sweep/SweepParallel method reads the data
+// without charging a pass, so algorithm, solver and engine code must go
+// through ForEach/ForEachParallel (or the stream block helpers) instead.
+// Source decorators and serving-layer bookkeeping that deliberately stay
+// off the meter carry a //lint:unmetered justification.
+var MeteredSweep = &Analyzer{
+	Name:     "meteredsweep",
+	Doc:      "flags Sweep/SweepParallel method calls outside internal/stream: they bypass the pass accountant; use the metered ForEach/ForEachParallel or justify with //lint:unmetered",
+	Suppress: "unmetered",
+	Run:      runMeteredSweep,
+}
+
+func runMeteredSweep(pass *Pass) error {
+	if pass.PkgPath() == streamPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Sweep" && name != "SweepParallel" {
+				return true
+			}
+			// Only method calls count: a package-level function that
+			// happens to be called Sweep is not a Source sweep.
+			if pass.Info != nil {
+				if s := pass.Info.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+					return true
+				}
+			}
+			metered := "ForEach"
+			if name == "SweepParallel" {
+				metered = "ForEachParallel"
+			}
+			pass.Reportf(call.Pos(), "%s bypasses the pass accountant; use the metered %s (or justify with //lint:unmetered if this is a view/bookkeeping sweep)", name, metered)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMeteredSweep(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/algos", analysis.MeteredSweep)
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+}
+
+func TestMeteredSweepStreamExempt(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/stream", analysis.MeteredSweep)
+	if len(diags) != 0 {
+		t.Errorf("internal/stream owns the raw sweeps, got: %v", diags)
+	}
+}

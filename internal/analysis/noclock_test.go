@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNoClock(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/engine", analysis.NoClock)
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4: %v", len(diags), diags)
+	}
+}
+
+func TestNoClockOutOfScope(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/serve", analysis.NoClock)
+	if len(diags) != 0 {
+		t.Errorf("serve measures latency by design, got: %v", diags)
+	}
+}

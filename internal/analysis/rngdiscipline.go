@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// xrandPkg is the only package allowed to touch math/rand: everything
+// else takes explicit seeds through its splittable RNG so experiments
+// replay bit-for-bit (DESIGN.md §5).
+const xrandPkg = "repro/internal/xrand"
+
+// parallelPkg hosts the pre-split RNG pattern: children are derived
+// sequentially with parallel.SplitRNGs before any goroutine starts, so
+// the random stream each shard consumes is independent of the worker
+// count and of goroutine interleaving.
+const parallelPkg = "repro/internal/parallel"
+
+// RNGDiscipline enforces the two RNG rules: (1) no math/rand anywhere
+// outside internal/xrand — its global state and non-replayable seeding
+// break determinism, and even seeded local use bypasses the splittable
+// discipline; (2) a *xrand.RNG captured from an enclosing scope must not
+// be used inside a parallel callback (parallel.Run/Map/ForEachShard
+// bodies, ForEachParallel/SweepParallel sweep callbacks, go statements):
+// shared generators make the consumed stream depend on interleaving.
+// Pre-split with parallel.SplitRNGs and index the children instead.
+var RNGDiscipline = &Analyzer{
+	Name:         "rngdiscipline",
+	Doc:          "flags math/rand imports outside internal/xrand and captured *xrand.RNG use inside parallel callbacks (use parallel.SplitRNGs); justify with //lint:rng",
+	Suppress:     "rng",
+	IncludeTests: true,
+	Run:          runRNGDiscipline,
+}
+
+func runRNGDiscipline(pass *Pass) error {
+	if pass.PkgPath() == xrandPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside %s; use the splittable xrand.RNG (xrand.Std bridges APIs that require *rand.Rand)", path, xrandPkg)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.FuncLit
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					body = lit
+				}
+			case *ast.CallExpr:
+				if isParallelEntry(pass, n) {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							body = lit
+						}
+					}
+				}
+			}
+			if body != nil {
+				checkCapturedRNG(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isParallelEntry reports whether call enters parallel execution: a
+// repro/internal/parallel fan-out helper or a parallel sweep method.
+func isParallelEntry(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Run", "Map", "ForEachShard":
+		obj := pass.objectOf(sel.Sel)
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == parallelPkg
+	case "ForEachParallel", "SweepParallel":
+		// Any parallel sweep: the callback runs on multiple goroutines.
+		return true
+	}
+	return false
+}
+
+// checkCapturedRNG reports uses, inside the callback body, of RNG-typed
+// variables declared outside it.
+func checkCapturedRNG(pass *Pass, lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.objectOf(id)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if !isXrandRNG(obj.Type()) {
+			return true
+		}
+		// Declared inside the literal (parameter or local): fine.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(), "RNG %q captured by a parallel callback: the stream it yields depends on goroutine interleaving; pre-split with parallel.SplitRNGs and index per job", id.Name)
+		return true
+	})
+}
+
+// isXrandRNG reports whether t is xrand.RNG or *xrand.RNG.
+func isXrandRNG(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil && obj.Pkg().Path() == xrandPkg
+}
+
+// objectOf resolves an identifier to its object via Uses or Defs.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/sketch", analysis.RNGDiscipline)
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5: %v", len(diags), diags)
+	}
+}
+
+func TestRNGDisciplineXrandExempt(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/xrand", analysis.RNGDiscipline)
+	if len(diags) != 0 {
+		t.Errorf("xrand may import math/rand, got: %v", diags)
+	}
+}

@@ -1,0 +1,53 @@
+// meteredsweep fixture: algorithm code must consume sources through the
+// metered ForEach/ForEachParallel, never the raw sweep primitives.
+package algos
+
+import "repro/internal/graph"
+
+// Source mirrors the sweep surface of the real stream.Source.
+type Source interface {
+	ForEach(f func(idx int, e graph.Edge) bool)
+	ForEachParallel(workers int, f func(idx int, e graph.Edge))
+	Sweep(f func(idx int, e graph.Edge) bool)
+	SweepParallel(workers int, f func(idx int, e graph.Edge))
+}
+
+func countsEdgesOffMeter(src Source) int {
+	n := 0
+	src.Sweep(func(idx int, e graph.Edge) bool { // want "Sweep bypasses the pass accountant"
+		n++
+		return true
+	})
+	return n
+}
+
+func parallelOffMeter(src Source) {
+	src.SweepParallel(4, func(idx int, e graph.Edge) {}) // want "SweepParallel bypasses the pass accountant"
+}
+
+func meteredIsThePath(src Source) int {
+	n := 0
+	src.ForEach(func(idx int, e graph.Edge) bool {
+		n++
+		return true
+	})
+	src.ForEachParallel(4, func(idx int, e graph.Edge) {})
+	return n
+}
+
+type view struct{ parent Source }
+
+func (v view) enumerate(f func(idx int, e graph.Edge) bool) {
+	//lint:unmetered derived view: the parent is not charged, the view meters its own passes
+	v.parent.Sweep(f)
+}
+
+func bareJustification(src Source) {
+	//lint:unmetered
+	src.Sweep(func(idx int, e graph.Edge) bool { return true }) // want "bare //lint:unmetered needs a justification"
+}
+
+// Sweep the package-level function is not a Source sweep.
+func Sweep() {}
+
+func packageFuncIsFine() { Sweep() }

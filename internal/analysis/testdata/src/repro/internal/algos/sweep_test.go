@@ -1,0 +1,9 @@
+// Test files may sweep raw: conformance suites verify the sweep
+// primitives themselves.
+package algos
+
+import "repro/internal/graph"
+
+func sweepInTest(src Source) {
+	src.Sweep(func(idx int, e graph.Edge) bool { return true })
+}

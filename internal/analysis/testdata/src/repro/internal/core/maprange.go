@@ -1,0 +1,74 @@
+// maprange fixture: range-over-map in a deterministic package.
+package core
+
+import "sort"
+
+type counts map[string]int
+
+func sumsInMapOrder(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want "range over map m iterates in randomized order"
+		t += v
+	}
+	return t
+}
+
+func keyOnlyStillFlagged(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want "range over map m iterates in randomized order"
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func namedMapTypeFlagged(c counts) int {
+	n := 0
+	for range c { // want "range over map c iterates in randomized order"
+		n++
+	}
+	return n
+}
+
+func justifiedIsSuppressed(m map[int]int) int {
+	t := 0
+	//lint:ordered integer accumulation is commutative; order cannot matter
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func bareSuppressionStillFlagged(m map[int]int) int {
+	t := 0
+	//lint:ordered
+	for _, v := range m { // want "bare //lint:ordered needs a justification"
+		t += v
+	}
+	return t
+}
+
+func trailingJustification(m map[int]int) int {
+	t := 0
+	for _, v := range m { //lint:ordered commutative integer sum
+		t += v
+	}
+	return t
+}
+
+func slicesAndChannelsAreFine(xs []int, ch chan int, s string) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	for v := range ch {
+		t += v
+	}
+	for range s {
+		t++
+	}
+	for i := range 3 {
+		t += i
+	}
+	return t
+}

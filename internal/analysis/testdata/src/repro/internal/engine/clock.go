@@ -1,0 +1,46 @@
+// noclock fixture: the round-loop driver must not read the wall clock —
+// replay and session reuse require rounds to be pure functions of input.
+package engine
+
+import (
+	"time"
+
+	tm "time"
+)
+
+func stampsRound() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func measuresRound(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func deadlineCheck(d time.Time) time.Duration {
+	return time.Until(d) // want "wall-clock read time.Until"
+}
+
+func aliasDoesNotHide() tm.Time {
+	return tm.Now() // want "wall-clock read time.Now"
+}
+
+func durationsAreData(d time.Duration) time.Duration {
+	return d * 2 // constructing and passing durations is fine
+}
+
+func parsingIsFine() (time.Time, error) {
+	return time.Parse(time.RFC3339, "2015-06-13T00:00:00Z")
+}
+
+func justifiedRead() time.Time {
+	//lint:wallclock diagnostics only: logged, never branches the round loop
+	return time.Now()
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int64 { return 0 }
+
+func injectedClockIsFine(c fakeClock) int64 {
+	return c.Now() // method on an injected clock, not package time
+}

@@ -1,0 +1,9 @@
+// Test files may read the clock: deadlines and latency assertions are
+// test machinery, not algorithm state.
+package engine
+
+import "time"
+
+func pollUntil(deadline time.Time) bool {
+	return time.Now().After(deadline)
+}

@@ -1,0 +1,8 @@
+// Package graph is a fixture stub of the real repro/internal/graph.
+package graph
+
+// Edge is one weighted edge (stub).
+type Edge struct {
+	U, V int32
+	W    float64
+}

@@ -1,0 +1,56 @@
+// errwrapbudget fixture: error values must be wrapped with %w so
+// errors.Is/errors.As matching survives the layer boundary.
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBudget = errors.New("budget exceeded")
+
+func reformatsLosesChain(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want "error formatted with %v loses the chain"
+}
+
+func stringVerbLosesChain(err error) error {
+	return fmt.Errorf("solve failed: %s", err) // want "error formatted with %s loses the chain"
+}
+
+func quotedVerbLosesChain(err error) error {
+	return fmt.Errorf("solve failed: %q", err) // want "error formatted with %q loses the chain"
+}
+
+func wrapKeepsChain(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+func laterArgCaught(round int, err error) error {
+	return fmt.Errorf("round %d: %v", round, err) // want "error formatted with %v loses the chain"
+}
+
+func starWidthDoesNotShift(width int, err error) error {
+	return fmt.Errorf("%*d %w", width, width, err)
+}
+
+func typeVerbIsFine(err error) error {
+	return fmt.Errorf("unexpected error type %T", err)
+}
+
+func concreteErrorTypeCaught() error {
+	err := errors.Join(errBudget)
+	return fmt.Errorf("joined: %v", err) // want "error formatted with %v loses the chain"
+}
+
+func nonErrorsAreFine(n int, s string, f float64) error {
+	return fmt.Errorf("n=%d s=%s f=%v", n, s, f)
+}
+
+func justifiedOpaque(err error) error {
+	//lint:nowrap boundary redaction: internal error text must not leak to tenants
+	return fmt.Errorf("internal failure: %v", err)
+}
+
+func errorStringIsFine(err error) error {
+	return fmt.Errorf("solve failed: %s", err.Error()) // a string, not an error value
+}

@@ -1,0 +1,36 @@
+// Package parallel is a fixture stub of the real repro/internal/parallel
+// worker pool: same import path and entry-point names, minimal bodies.
+package parallel
+
+import "repro/internal/xrand"
+
+// Run executes fn(job) for every job in [0, jobs) (stub: sequential).
+func Run(workers, jobs int, fn func(job int)) {
+	for j := 0; j < jobs; j++ {
+		fn(j)
+	}
+}
+
+// Map executes fn over [0, jobs) and collects results in job order.
+func Map(workers, jobs int, fn func(job int) int) []int {
+	out := make([]int, jobs)
+	Run(workers, jobs, func(j int) { out[j] = fn(j) })
+	return out
+}
+
+// Range is a half-open shard (stub).
+type Range struct{ Lo, Hi int }
+
+// ForEachShard partitions [0, n) and runs fn per shard (stub).
+func ForEachShard(workers, n int, fn func(shard int, r Range)) {
+	fn(0, Range{0, n})
+}
+
+// SplitRNGs derives one child generator per job sequentially.
+func SplitRNGs(parent *xrand.RNG, jobs int) []*xrand.RNG {
+	out := make([]*xrand.RNG, jobs)
+	for i := range out {
+		out[i] = parent.Split(uint64(i))
+	}
+	return out
+}

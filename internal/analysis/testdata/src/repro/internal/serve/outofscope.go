@@ -1,0 +1,18 @@
+// Negative fixtures: internal/serve is outside the deterministic scope
+// (maprange) and outside the no-wall-clock scope (noclock) — latency
+// bookkeeping and cache maps are its job. No analyzer should fire here.
+package serve
+
+import "time"
+
+func cacheSizeByTenant(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func stamp() time.Time { return time.Now() }
+
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -1,0 +1,75 @@
+// rngdiscipline fixture: math/rand is banned outside internal/xrand,
+// and a captured RNG must not be consumed inside parallel callbacks.
+package sketch
+
+import (
+	"math/rand" // want "import of math/rand outside repro/internal/xrand"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+func usesGlobalRand() int { return rand.Intn(10) }
+
+type bank struct{}
+
+func (bank) ForEachParallel(workers int, f func(idx int, e graph.Edge)) {}
+
+func capturedInParallelRun(rng *xrand.RNG) []int {
+	return parallel.Map(4, 8, func(j int) int {
+		return rng.Intn(100) // want "captured by a parallel callback"
+	})
+}
+
+func capturedInSweepCallback(b bank, rng *xrand.RNG) {
+	sink := 0.0
+	b.ForEachParallel(4, func(idx int, e graph.Edge) {
+		sink += rng.Float64() // want "captured by a parallel callback"
+	})
+	_ = sink
+}
+
+func capturedInGoStmt(rng *xrand.RNG, done chan struct{}) {
+	go func() {
+		_ = rng.Uint64() // want "captured by a parallel callback"
+		close(done)
+	}()
+	<-done
+}
+
+func preSplitIsThePattern(parent *xrand.RNG) []int {
+	rngs := parallel.SplitRNGs(parent, 8)
+	return parallel.Map(4, 8, func(j int) int {
+		return rngs[j].Intn(100) // rngs is a slice; each job owns its child
+	})
+}
+
+func perJobLocalIsFine(parent *xrand.RNG) []int {
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = parent.Uint64()
+	}
+	return parallel.Map(4, 8, func(j int) int {
+		local := xrand.New(seeds[j])
+		return local.Intn(100)
+	})
+}
+
+func justifiedCapture(rng *xrand.RNG) {
+	done := make(chan struct{})
+	go func() {
+		//lint:rng single goroutine, serialized by the channel handshake
+		_ = rng.Uint64()
+		close(done)
+	}()
+	<-done
+}
+
+func sequentialUseIsFine(rng *xrand.RNG) int {
+	t := 0
+	for i := 0; i < 4; i++ {
+		t += rng.Intn(10)
+	}
+	return t
+}

@@ -1,0 +1,7 @@
+// rngdiscipline includes test files: seeding tests from math/rand is how
+// the sketch suite once drifted from the splittable discipline.
+package sketch
+
+import "math/rand" // want "import of math/rand outside repro/internal/xrand"
+
+func testHelper() int { return rand.Int() }

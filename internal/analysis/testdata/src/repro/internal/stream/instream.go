@@ -1,0 +1,17 @@
+// Negative fixture: inside internal/stream the raw sweep primitives are
+// the implementation substrate — meteredsweep must stay silent.
+package stream
+
+import "repro/internal/graph"
+
+type Source interface {
+	Sweep(f func(idx int, e graph.Edge) bool)
+}
+
+type concat struct{ subs []Source }
+
+func (c concat) Sweep(f func(idx int, e graph.Edge) bool) {
+	for _, s := range c.subs {
+		s.Sweep(f)
+	}
+}

@@ -1,0 +1,15 @@
+package xrand
+
+// The one place in the tree allowed to import math/rand: the bridge for
+// third-party APIs that demand a *rand.Rand (mirrors the real package's
+// Std; the rngdiscipline fixture asserts no diagnostic fires here).
+
+import "math/rand"
+
+// Std returns a *rand.Rand driven by a deterministic RNG.
+func Std(seed uint64) *rand.Rand { return rand.New(&source{rng: New(seed)}) }
+
+type source struct{ rng *RNG }
+
+func (s *source) Int63() int64    { return int64(s.rng.Uint64() >> 1) }
+func (s *source) Seed(seed int64) { s.rng = New(uint64(seed)) }

@@ -1,0 +1,28 @@
+// Package xrand is a fixture stub of the real repro/internal/xrand:
+// just enough surface for analyzer fixtures to type-check. The
+// rngdiscipline analyzer matches the import path, so this stand-in
+// exercises the same code paths as the real package.
+package xrand
+
+// RNG is the deterministic splittable generator (stub).
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split returns an independent child generator.
+func (r *RNG) Split(label uint64) *RNG { return &RNG{state: r.state ^ label} }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Uint64() % uint64(n)) }

@@ -93,6 +93,7 @@ func E19FileCodecs(cfg Config) Table {
 			sweep := 3 * time.Hour
 			for rep := 0; rep < 3; rep++ {
 				dur := timeIt(func() {
+					//lint:unmetered raw I/O throughput benchmark, accounting would distort it
 					src.Sweep(func(int, graph.Edge) bool { return true })
 				})
 				if dur < sweep {

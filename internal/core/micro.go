@@ -225,6 +225,7 @@ func runMicroOracle(in microInput) microResult {
 	// identical to those of the next active level up, so z_{U,ℓ} placed
 	// there covers the same constraints. Iterate active levels only.
 	activeDesc := make([]int, 0, len(levelsInUse))
+	//lint:ordered key collection, sortDesc'd immediately below
 	for l := range levelsInUse {
 		activeDesc = append(activeDesc, l)
 	}
@@ -305,9 +306,11 @@ func runMicroOracle(in microInput) microResult {
 	// solve extracts the integral matching per Lemma 13.
 	res.matchingWitness = true
 	zetaHat := make(map[rowKey]float64, len(zetaBarSums))
+	//lint:ordered per-key copy, no cross-key accumulation
 	for rk, zb := range zetaBarSums {
 		zetaHat[rk] = zb
 	}
+	//lint:ordered per-key fill-in, no cross-key accumulation
 	for rk, z := range in.zeta {
 		if _, ok := zetaHat[rk]; !ok {
 			zetaHat[rk] = z
@@ -331,6 +334,7 @@ func runMicroOracle(in microInput) microResult {
 	for i, e := range in.edges {
 		w.y[i] = scaleY * e.w
 	}
+	//lint:ordered per-key scale into w.mu, no cross-key accumulation
 	for rk, zh := range zetaHat {
 		if zh > 0 {
 			w.mu[rk] = scaleY * in.rho * zh
@@ -345,13 +349,17 @@ func runMicroOracle(in microInput) microResult {
 // (exponential — test/verification use only). It returns the first
 // violation as a non-empty string, or "".
 func checkLP7(in microInput, w *lp7Witness, tol float64) string {
-	// Objective: Σ_k ŵ_k (Σ y - 3 Σ_i μ_{i,k}) >= (1-ε)β.
+	// Objective: Σ_k ŵ_k (Σ y - 3 Σ_i μ_{i,k}) >= (1-ε)β. Like every
+	// float accumulation in this file, the sums walk map keys in sorted
+	// order so the verdict is bit-identical run to run — near-tolerance
+	// witnesses must not flip with Go's randomized map iteration.
+	muKeys := sortedRowKeys(w.mu)
 	obj := 0.0
 	for i, e := range in.edges {
 		obj += in.wHat(e.k) * w.y[i]
 	}
-	for rk, mv := range w.mu {
-		obj -= 3 * in.wHat(rk.k) * mv
+	for _, rk := range muKeys {
+		obj -= 3 * in.wHat(rk.k) * w.mu[rk]
 	}
 	if obj < (1-in.eps)*w.beta-tol {
 		return "objective below (1-eps)beta"
@@ -366,12 +374,13 @@ func checkLP7(in microInput, w *lp7Witness, tol float64) string {
 		verts[e.v] = true
 	}
 	perVertex := map[int32]float64{}
-	for rk, yv := range perRow {
-		d := yv - 2*w.mu[rk]
+	for _, rk := range sortedRowKeys(perRow) {
+		d := perRow[rk] - 2*w.mu[rk]
 		if d > 0 {
 			perVertex[rk.v] += d
 		}
 	}
+	//lint:ordered per-key threshold check, no cross-key accumulation
 	for v, tot := range perVertex {
 		if tot > float64(in.bOf(int(v)))+tol {
 			return "vertex capacity violated"
@@ -379,14 +388,24 @@ func checkLP7(in microInput, w *lp7Witness, tol float64) string {
 	}
 	// Odd-set constraints: Σ_{k>=ℓ}(Σ_{ij∈U} y - Σ_{i∈U} μ_{i,k}) <=
 	// floor(||U||_b/2) for every odd U up to maxNorm and every active ℓ.
-	var vs []int32
+	// Vertices and levels are sorted so the subset enumeration order (and
+	// hence which violation is reported first) is deterministic.
+	vs := make([]int32, 0, len(verts))
+	//lint:ordered key collection, sorted immediately below
 	for v := range verts {
 		vs = append(vs, v)
 	}
-	levels := map[int]bool{}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	levelSet := map[int]bool{}
 	for _, e := range in.edges {
-		levels[e.k] = true
+		levelSet[e.k] = true
 	}
+	levels := make([]int, 0, len(levelSet))
+	//lint:ordered key collection, sorted immediately below
+	for l := range levelSet {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
 	viol := ""
 	enumerateOddSubsets(vs, in.bOf, in.maxNorm, func(set []int32) bool {
 		mask := map[int32]bool{}
@@ -395,16 +414,16 @@ func checkLP7(in microInput, w *lp7Witness, tol float64) string {
 			mask[v] = true
 			norm += in.bOf(int(v))
 		}
-		for l := range levels {
+		for _, l := range levels {
 			lhs := 0.0
 			for i, e := range in.edges {
 				if e.k >= l && mask[e.u] && mask[e.v] {
 					lhs += w.y[i]
 				}
 			}
-			for rk, mv := range w.mu {
+			for _, rk := range muKeys {
 				if rk.k >= l && mask[rk.v] {
-					lhs -= mv
+					lhs -= w.mu[rk]
 				}
 			}
 			if lhs > float64(norm/2)+tol {
@@ -453,6 +472,7 @@ func enumerateOddSubsets(vs []int32, bOf func(int) int, maxNorm int, f func([]in
 // the canonical iteration order for float accumulations over P_o rows.
 func sortedRowKeys(m map[rowKey]float64) []rowKey {
 	keys := make([]rowKey, 0, len(m))
+	//lint:ordered key collection, sorted immediately below
 	for rk := range m {
 		keys = append(keys, rk)
 	}

@@ -622,6 +622,7 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 		}
 	}
 	a.unionIdx = a.unionIdx[:0]
+	//lint:ordered key collection, sort.Ints'd immediately below
 	for idx := range a.union {
 		a.unionIdx = append(a.unionIdx, idx)
 	}

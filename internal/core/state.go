@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -207,8 +208,16 @@ func (a *oracleAnswer) objective(bOf func(v int) int) float64 {
 			maxPerVertex[xe.v] = xe.val
 		}
 	}
-	for v, xv := range maxPerVertex {
-		t += float64(bOf(int(v))) * xv
+	// Accumulate in sorted vertex order: summing floats in map iteration
+	// order would make the objective differ in the last bits run to run.
+	vs := make([]int32, 0, len(maxPerVertex))
+	//lint:ordered key collection, sorted immediately below
+	for v := range maxPerVertex {
+		vs = append(vs, v)
+	}
+	slices.Sort(vs)
+	for _, v := range vs {
+		t += float64(bOf(int(v))) * maxPerVertex[v]
 	}
 	for _, ze := range a.zEntries {
 		norm := 0

@@ -177,6 +177,8 @@ func (s *ctxSource) guard(f func(idx int, e graph.Edge) bool) func(idx int, e gr
 func (s *ctxSource) ForEach(f func(idx int, e graph.Edge) bool) { s.inner.ForEach(s.guard(f)) }
 
 // Sweep is the guarded un-metered sweep.
+//
+//lint:unmetered decorator forwarding; metering stays with the inner source
 func (s *ctxSource) Sweep(f func(idx int, e graph.Edge) bool) { s.inner.Sweep(s.guard(f)) }
 
 // ForEachParallel delegates to the inner source (see the type comment).
@@ -186,6 +188,7 @@ func (s *ctxSource) ForEachParallel(workers int, f func(idx int, e graph.Edge)) 
 
 // SweepParallel delegates to the inner source (see the type comment).
 func (s *ctxSource) SweepParallel(workers int, f func(idx int, e graph.Edge)) {
+	//lint:unmetered decorator forwarding; metering stays with the inner source
 	s.inner.SweepParallel(workers, f)
 }
 

@@ -39,11 +39,11 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			}
 			v, err := strconv.Atoi(parts[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 			b, err := strconv.Atoi(parts[2])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 			caps = append(caps, cap{v, b})
 			if v > maxV {
@@ -56,16 +56,16 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		u, err := strconv.Atoi(parts[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 		v, err := strconv.Atoi(parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 		w := 1.0
 		if len(parts) >= 3 {
 			if w, err = strconv.ParseFloat(parts[2], 64); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 		}
 		if u < 0 || v < 0 {
@@ -143,20 +143,20 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 			}
 			u, err := strconv.Atoi(parts[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 			v, err := strconv.Atoi(parts[2])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 			w := 1.0
 			if len(parts) >= 4 {
 				if w, err = strconv.ParseFloat(parts[3], 64); err != nil {
-					return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+					return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 				}
 			}
 			if err := g.AddEdge(u-1, v-1, w); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 			read++
 		default:

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Parse failures must wrap the underlying error with %w (the
+// errwrapbudget analyzer's contract) so callers can errors.As into
+// *strconv.NumError and see which literal failed to parse.
+func TestReadErrorsWrapStrconv(t *testing.T) {
+	cases := []struct {
+		name string
+		read func(string) error
+		in   string
+		want string
+	}{
+		{"edgelist vertex", readEL, "0 zzz", "zzz"},
+		{"edgelist weight", readEL, "0 1 bad", "bad"},
+		{"edgelist capacity", readEL, "b 0 huge!", "huge!"},
+		{"dimacs vertex", readDIMACS, "p edge 3 1\ne 1 oops", "oops"},
+		{"dimacs weight", readDIMACS, "p edge 3 1\ne 1 2 nan!", "nan!"},
+	}
+	for _, tc := range cases {
+		err := tc.read(tc.in)
+		if err == nil {
+			t.Fatalf("%s: no error for %q", tc.name, tc.in)
+		}
+		var ne *strconv.NumError
+		if !errors.As(err, &ne) {
+			t.Fatalf("%s: error %v does not wrap *strconv.NumError", tc.name, err)
+		}
+		if ne.Num != tc.want {
+			t.Fatalf("%s: wrapped NumError is about %q, want %q", tc.name, ne.Num, tc.want)
+		}
+	}
+}
+
+func readEL(s string) error {
+	_, err := ReadEdgeList(strings.NewReader(s))
+	return err
+}
+
+func readDIMACS(s string) error {
+	_, err := ReadDIMACS(strings.NewReader(s))
+	return err
+}

@@ -1,0 +1,33 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestConnectedComponentsMRDeterministic pins the sorted-representative
+// walk in the post-processing Boruvka: unions used to apply in uf.Sets()
+// map order, so the union-find shape (and with it which vertex
+// represents each component) could differ run to run.
+func TestConnectedComponentsMRDeterministic(t *testing.T) {
+	g := graph.GNM(40, 90, graph.WeightConfig{}, 41)
+	var ref []int
+	for trial := 0; trial < 10; trial++ {
+		c := NewCluster(4)
+		uf, _ := ConnectedComponentsMR(c, g, 17)
+		roots := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			roots[v] = uf.Find(v)
+		}
+		if trial == 0 {
+			ref = roots
+			continue
+		}
+		for v := range roots {
+			if roots[v] != ref[v] {
+				t.Fatalf("trial %d: vertex %d has root %d, first run had %d", trial, v, roots[v], ref[v])
+			}
+		}
+	}
+}

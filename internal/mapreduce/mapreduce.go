@@ -97,6 +97,7 @@ func (c *Cluster) Run(input []KV, mapper Mapper, reducer Reducer) []KV {
 	c.stats.ShuffleKVs += shuffled
 	// Machine load: keys are routed to machines by key % Machines.
 	load := make([]int, c.Machines)
+	//lint:ordered integer load tally, commutative across keys
 	for k, vs := range groups {
 		load[int(k%uint64(c.Machines))] += len(vs)
 	}
@@ -112,6 +113,7 @@ func (c *Cluster) Run(input []KV, mapper Mapper, reducer Reducer) []KV {
 	}
 	// ---- reduce phase (parallel per machine, deterministic key order) ----
 	keysByMachine := make([][]uint64, c.Machines)
+	//lint:ordered key routing, per-machine lists sorted before reduce
 	for k := range groups {
 		m := int(k % uint64(c.Machines))
 		keysByMachine[m] = append(keysByMachine[m], k)

@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"sort"
+
 	"repro/internal/graph"
 	"repro/internal/sketch"
 	"repro/internal/unionfind"
@@ -93,7 +95,19 @@ func ConnectedComponentsMR(c *Cluster, g *graph.Graph, seed uint64) (*unionfind.
 				break
 			}
 			merged := false
-			for _, members := range uf.Sets() {
+			// Union in sorted-representative order: when two components'
+			// samples conflict, which union wins depends on this order,
+			// and the forest must match run to run (and match the
+			// sketch.Bank.SpanningForest it mirrors).
+			comps := uf.Sets()
+			reps := make([]int, 0, len(comps))
+			//lint:ordered key collection, sorted immediately below
+			for rep := range comps {
+				reps = append(reps, rep)
+			}
+			sort.Ints(reps)
+			for _, rep := range reps {
+				members := comps[rep]
 				acc := rows[r][members[0]].Clone()
 				for _, m := range members[1:] {
 					acc.Merge(rows[r][m])

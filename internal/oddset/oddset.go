@@ -125,6 +125,7 @@ func (in *Instance) supportVertices() []int {
 		}
 	}
 	out := make([]int, 0, len(seen))
+	//lint:ordered key collection, sorted immediately below
 	for v := range seen {
 		out = append(out, int(v))
 	}
@@ -237,6 +238,7 @@ func (in *Instance) collectHeuristic(support []int) []Set {
 	var out []Set
 	// Seed clusters from vertices in decreasing weighted degree.
 	deg := make(map[int]float64)
+	//lint:ordered per-key accumulation over each v's own slice, no cross-key sums
 	for v, es := range adj {
 		for _, e := range es {
 			deg[v] += e.Q
@@ -269,6 +271,7 @@ func (in *Instance) collectHeuristic(support []int) []Set {
 				}
 			}
 			bestV, bestG := -1, 0.0
+			//lint:ordered argmax with (max gain, min vertex) tie-break, order-independent
 			for o, gn := range gain {
 				if gn > bestG || (gn == bestG && bestV != -1 && o < bestV) {
 					bestV, bestG = o, gn

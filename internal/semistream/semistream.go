@@ -111,6 +111,7 @@ func OnePassReplace(s stream.Source, gamma float64) *matching.Matching {
 		return true
 	})
 	out := &matching.Matching{}
+	//lint:ordered key collection, sorted immediately below
 	for idx := range inM {
 		out.EdgeIdx = append(out.EdgeIdx, idx)
 	}
@@ -167,6 +168,7 @@ func ShortAugmentPasses(s stream.Source, m *matching.Matching, maxPasses int) *m
 // deterministically ordered indices.
 func SortedMatching(cur map[int]bool) *matching.Matching {
 	out := &matching.Matching{}
+	//lint:ordered key collection, sorted immediately below
 	for idx := range cur {
 		out.EdgeIdx = append(out.EdgeIdx, idx)
 	}
@@ -244,6 +246,7 @@ func AugmentRound(s stream.Source, cur map[int]bool) (bool, float64) {
 	// would make the conflict resolution (and thus the result)
 	// nondeterministic run to run.
 	matchedIdxs := make([]int, 0, len(byMatched))
+	//lint:ordered key collection, sorted immediately below
 	for mi := range byMatched {
 		matchedIdxs = append(matchedIdxs, mi)
 	}

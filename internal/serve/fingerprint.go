@@ -61,6 +61,7 @@ func fingerprintSource(src match.Source, algo string, eps float64) fpKey {
 		h = fnvMix(h, uint64(src.B(v)))
 	}
 	wstar := 0.0
+	//lint:unmetered admission-time fingerprint of the full file, not an algorithm pass
 	src.Sweep(func(_ int, e graph.Edge) bool {
 		h = fnvMix(h, uint64(e.U))
 		h = fnvMix(h, uint64(e.V))

@@ -1,0 +1,36 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSpanningForestDeterministic pins the sorted-representative walk in
+// SpanningForest: Boruvka unions used to apply in uf.Sets() map order, so
+// conflicting picks resolved differently run to run and the forest edge
+// list changed between calls on the same bank.
+func TestSpanningForestDeterministic(t *testing.T) {
+	g := graph.GNM(48, 140, graph.WeightConfig{}, 31)
+	var ref []graph.Edge
+	for trial := 0; trial < 20; trial++ {
+		bank := buildBank(t, g, 32)
+		forest, _, err := bank.SpanningForest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			ref = forest
+			continue
+		}
+		if len(forest) != len(ref) {
+			t.Fatalf("trial %d: forest has %d edges, first run had %d", trial, len(forest), len(ref))
+		}
+		for i := range forest {
+			if forest[i].Key() != ref[i].Key() {
+				t.Fatalf("trial %d: forest[%d] = (%d,%d), first run had (%d,%d)",
+					trial, i, forest[i].U, forest[i].V, ref[i].U, ref[i].V)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/unionfind"
@@ -166,8 +167,17 @@ func (b *Bank) SpanningForest() ([]graph.Edge, *unionfind.UF, error) {
 		merged := false
 		type pick struct{ u, v int32 }
 		var picks []pick
-		for _, members := range comps {
-			if u, v, ok := b.SampleCutEdge(rep, members); ok {
+		// Walk components in sorted-representative order: when two
+		// components sample edges whose unions conflict, which union
+		// wins (and which edge joins the forest) depends on this order.
+		reps := make([]int, 0, len(comps))
+		//lint:ordered key collection, sorted immediately below
+		for r := range comps {
+			reps = append(reps, r)
+		}
+		sort.Ints(reps)
+		for _, r := range reps {
+			if u, v, ok := b.SampleCutEdge(rep, comps[r]); ok {
 				picks = append(picks, pick{u, v})
 			}
 		}
@@ -185,6 +195,7 @@ func (b *Bank) SpanningForest() ([]graph.Edge, *unionfind.UF, error) {
 	}
 	// Ran out of repetitions: check whether we actually finished.
 	done := true
+	//lint:ordered existence check: "any component still has a cut edge" is order-independent
 	for _, members := range uf.Sets() {
 		if u, v, ok := b.SampleCutEdge(b.spec.reps-1, members); ok && !uf.Same(int(u), int(v)) {
 			done = false

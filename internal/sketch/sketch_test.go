@@ -1,7 +1,6 @@
 package sketch
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -228,7 +227,7 @@ func TestSSparseProperty(t *testing.T) {
 	// Recovery is probabilistic (failure probability exponentially small
 	// in rows but nonzero), so the input corpus is pinned: a time-seeded
 	// corpus occasionally hits a genuinely undecodable input and flakes.
-	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
+	cfg := &quick.Config{MaxCount: 60, Rand: xrand.Std(1)}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}

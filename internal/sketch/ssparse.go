@@ -128,6 +128,7 @@ func (sk *SSparse) Recover() (keys []uint64, values []int64, ok bool) {
 	// in all rows.
 	if corrupt {
 		check := spec.NewSSparse()
+		//lint:ordered replay into fresh cells; Update is add/XOR, commutative
 		for k, v := range found {
 			check.Update(k, v)
 		}
@@ -138,6 +139,7 @@ func (sk *SSparse) Recover() (keys []uint64, values []int64, ok bool) {
 		}
 	}
 	keys = make([]uint64, 0, len(found))
+	//lint:ordered key collection, sorted immediately below
 	for k := range found {
 		keys = append(keys, k)
 	}

@@ -88,6 +88,7 @@ func (b *DeferredBuilder) Add(localIdx int, u, v int32, w float64, orig int, sig
 // emitted Deferred carries only its Items and needs no forest state.
 func (b *DeferredBuilder) Finish() *Deferred {
 	keys := make([]int, 0, len(b.classes))
+	//lint:ordered key collection, sorted immediately below
 	for cl := range b.classes {
 		keys = append(keys, cl)
 	}

@@ -324,11 +324,13 @@ func bucketByClass(m int, weightOf func(int) float64, workers int) []classGroup 
 	})
 	merged := make(map[int][]int)
 	for _, local := range locals {
+		//lint:ordered per-class append; shard order is fixed by the locals slice
 		for cl, idxs := range local {
 			merged[cl] = append(merged[cl], idxs...)
 		}
 	}
 	keys := make([]int, 0, len(merged))
+	//lint:ordered key collection, sorted immediately below
 	for cl := range merged {
 		keys = append(keys, cl)
 	}
