@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// powScope lists the packages on the solver's per-round hot path where
+// math.Pow showed up as a top-10 CPU consumer before the pow tables
+// landed: level bucketing (ŵ = (1+ε)^k per stream update), sparsifier
+// retention probabilities (2^-level per stored item) and the oracle
+// core. In these packages every repeated power is a geometric series
+// over small integer indices, so a table built once with math.Pow at
+// construction is bit-identical and removes the transcendental call
+// from the per-item path. Cold one-shot uses (parameter derivation at
+// Init, table construction itself, out-of-range fallbacks) are fine —
+// justify them with //lint:powtable.
+var powScope = []string{
+	"repro/internal/levels",
+	"repro/internal/sparsify",
+	"repro/internal/core",
+}
+
+// PowHot reports math.Pow calls in the hot solver packages, where they
+// belong in a precomputed geometric table rather than the per-item
+// path. See levels.NewScheme and sparsify's pow05 for the pattern.
+var PowHot = &Analyzer{
+	Name:     "powhot",
+	Doc:      "flags math.Pow in the hot solver packages (levels, sparsify, core) where powers of a fixed base belong in a construction-time table; justify cold-path uses with //lint:powtable",
+	Suppress: "powtable",
+	Run:      runPowHot,
+}
+
+func runPowHot(pass *Pass) error {
+	if !inScope(pass.PkgPath(), powScope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Pow" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.objectOf(id).(*types.PkgName)
+			if !ok || pn.Imported().Path() != "math" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "math.Pow in a hot solver package: powers of a fixed base belong in a table built once at construction (bit-identical, see levels.NewScheme); justify cold-path uses with //lint:powtable")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPowHot(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/levels", analysis.PowHot)
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+}
+
+func TestPowHotOutOfScope(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/bench", analysis.PowHot)
+	if len(diags) != 0 {
+		t.Errorf("bench computes reference values by design, got: %v", diags)
+	}
+}

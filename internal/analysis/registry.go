@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		RNGDiscipline,
 		MeteredSweep,
 		NoClock,
+		PowHot,
 		ErrWrapBudget,
 	}
 }

@@ -1,0 +1,9 @@
+// powhot out-of-scope fixture: the bench layer computes reference
+// values with math.Pow by design — no table pressure there.
+package bench
+
+import "math"
+
+func referenceBudget(n, p float64) float64 {
+	return math.Pow(n, 1+1/p)
+}

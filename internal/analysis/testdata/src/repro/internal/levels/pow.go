@@ -1,0 +1,44 @@
+// powhot fixture: math.Pow in a hot solver package must live in a
+// construction-time table, not the per-item path.
+package levels
+
+import (
+	"math"
+
+	m "math"
+)
+
+func perUpdate(eps float64, k int) float64 {
+	return math.Pow(1+eps, float64(k)) // want "math.Pow in a hot solver package"
+}
+
+func aliasDoesNotHide(level int) float64 {
+	return m.Pow(0.5, float64(level)) // want "math.Pow in a hot solver package"
+}
+
+var table = buildTable(0.25)
+
+func buildTable(eps float64) []float64 {
+	t := make([]float64, 64)
+	for k := range t {
+		//lint:powtable table construction; per-call path reads the table
+		t[k] = math.Pow(1+eps, float64(k))
+	}
+	return t
+}
+
+func tableRead(k int) float64 {
+	return table[k] // the pattern the analyzer pushes toward
+}
+
+func exponentialIsFine(x float64) float64 {
+	return math.Exp(x) // only Pow is a table candidate
+}
+
+type fakeMath struct{}
+
+func (fakeMath) Pow(a, b float64) float64 { return a }
+
+func methodOnValueIsFine(fm fakeMath) float64 {
+	return fm.Pow(2, 8) // method named Pow, not package math
+}

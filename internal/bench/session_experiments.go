@@ -44,7 +44,7 @@ func E17Throughput(cfg Config) Table {
 		ID:    "E17",
 		Title: "serving throughput: session reuse, warm-started duals, match.Pool",
 		Columns: []string{"algo", "family", "n", "m", "allocs/solve cold", "allocs/solve reused",
-			"alloc ratio", "pool jobs", "pool solves", "solves/s"},
+			"alloc ratio", "retained kwords", "pool jobs", "pool solves", "solves/s"},
 	}
 	n, m, repeats := 64, 512, 6
 	poolJobs, poolRepeats := 3, 4
@@ -100,6 +100,10 @@ func E17Throughput(cfg Config) Table {
 				prev = res
 			})
 			ratio := cold / reused
+			// What the warm session keeps pooled between the solves above:
+			// sketch banks, forests, oracle scratch — capacity, not live
+			// space (a SpaceWords budget trips identically warm or cold).
+			retainedKW := solver.RetainedWords() / 1024
 
 			// Fleet throughput: J sessions, J×R jobs through the queue.
 			pool, err := match.NewPool(poolJobs, opts...)
@@ -122,10 +126,11 @@ func E17Throughput(cfg Config) Table {
 			perSec := float64(solves) / wall.Seconds()
 
 			t.AddRow(algo, fam.name, d(fam.g.N()), d(fam.g.M()),
-				f(cold), f(reused), fr(ratio), d(poolJobs), d(solves), f(perSec))
+				f(cold), f(reused), fr(ratio), d(retainedKW), d(poolJobs), d(solves), f(perSec))
 		}
 	}
 	t.Note("cold = match.New + Solve per call; reused = one Solver (cached session), dual-primal chained through WithInitialDuals")
+	t.Note("retained kwords = Solver.RetainedWords()/1024 after the reused solves: pooled capacity kept warm, never metered as live space")
 	t.Note("allocs measured AllocsPerRun-style at GOMAXPROCS(1); pool rows share the configured worker budget across %d sessions", poolJobs)
 	noteWorkers(&t, cfg)
 	return t

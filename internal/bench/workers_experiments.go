@@ -99,11 +99,33 @@ func E14Workers(cfg Config) Table {
 		return graph.GNMParallel(genN, genM, wc, cfg.Seed+401, w).Edges()
 	})
 
-	// Layer 2: incidence-sketch bank construction (internal/sketch).
+	// Layer 2: incidence-sketch bank construction (internal/sketch). The
+	// builds draw their columns from one arena, recycling each trial's
+	// bank before the next build — the allocation-flat steady state a
+	// session reaches — while keeping two banks live: the current output
+	// and the last workers=1 one, which addRows retains as the DeepEqual
+	// baseline of the bit-identity column (releasing it would let the
+	// next build mutate the memory under the comparison).
 	bankEdges := graph.GNMParallel(bankN, 8*bankN, graph.WeightConfig{}, cfg.Seed+403, 0).Edges()
 	spec := sketch.NewIncidenceSpec(xrand.New(cfg.Seed+405), bankN, bankReps, 12, 8)
+	bankArena := sketch.NewArena()
+	var bankBase, bankPrev *sketch.Bank
 	addRows("sketch-bank", bankN, len(bankEdges), func(w int) any {
-		return spec.BuildBank(bankEdges, w)
+		if bankPrev != nil {
+			bankPrev.ReleaseTo(bankArena)
+			bankPrev = nil
+		}
+		if w == 1 && bankBase != nil {
+			bankBase.ReleaseTo(bankArena)
+			bankBase = nil
+		}
+		b := spec.BuildBankArena(bankEdges, w, bankArena)
+		if w == 1 {
+			bankBase = b
+		} else {
+			bankPrev = b
+		}
+		return b
 	})
 
 	// Layer 3: weighted sparsification across weight classes

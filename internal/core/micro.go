@@ -74,13 +74,20 @@ type lp7Witness struct {
 	gamma float64
 }
 
-// runMicroOracle executes Algorithm 5.
+// runMicroOracle executes Algorithm 5 with a fresh scratch — the
+// direct entry point the tests use; the solver's oracle loop threads
+// its retained scratch through runMicroOracleScratch instead.
 func runMicroOracle(in microInput) microResult {
+	return runMicroOracleScratch(in, newOracleScratch())
+}
+
+func runMicroOracleScratch(in microInput, sc *oracleScratch) microResult {
+	sc.beginMicro()
 	// Per-(i,k) incident support weight s_{i,k} = Σ_j uˢ_{ijk}.
-	s := make(map[rowKey]float64)
+	s := sc.s
 	// Total weighted support (uˢ)ᵀc = Σ_k ŵ_k Σ_{E'_k} uˢ.
 	usC := 0.0
-	levelsInUse := map[int]bool{}
+	levelsInUse := sc.levelsInUse
 	for _, e := range in.edges {
 		s[rowKey{e.u, e.k}] += e.w
 		s[rowKey{e.v, e.k}] += e.w
@@ -91,8 +98,10 @@ func runMicroOracle(in microInput) microResult {
 	// associative: every sum over these maps walks keys in sorted order so
 	// the oracle is a pure function of its input — the determinism the
 	// parallel pipeline's bit-identical contract rests on.
-	zetaKeys := sortedRowKeys(in.zeta)
-	sKeys := sortedRowKeys(s)
+	zetaKeys := sortedRowKeysInto(sc.zetaKeys, in.zeta)
+	sc.zetaKeys = zetaKeys
+	sKeys := sortedRowKeysInto(sc.sKeys, s)
+	sc.sKeys = sKeys
 	// γ = (uˢ)ᵀc - 3ϱ Σ_{i,k} ŵ_k ζ_{i,k}.
 	gamma := usC
 	for _, rk := range zetaKeys {
@@ -104,21 +113,19 @@ func runMicroOracle(in microInput) microResult {
 		return res
 	}
 	// d_{i,k} = s_{i,k} - 2ϱζ_{i,k}; Pos(i) = {k : d_{i,k} > 0}.
-	type posEntry struct {
-		k int
-		d float64
-	}
-	pos := make(map[int32][]posEntry)
-	var posVerts []int32
+	pos := sc.pos
+	posVerts := sc.posVerts
 	for _, rk := range sKeys {
 		d := s[rk] - 2*in.rho*in.zeta[rk]
 		if d > 0 {
 			if len(pos[rk.v]) == 0 {
 				posVerts = append(posVerts, rk.v)
+				pos[rk.v] = sc.posList()
 			}
 			pos[rk.v] = append(pos[rk.v], posEntry{rk.k, d})
 		}
 	}
+	sc.posVerts = posVerts
 	// ζ rows with no support mass have d <= 0 and never join Pos.
 	// Δ(i,ℓ) = Σ_{k∈Pos(i),k<=ℓ} ŵ_k d_{i,k} + Σ_{k∈Pos(i),k>ℓ} ŵ_ℓ d_{i,k}.
 	delta := func(i int32, l int) float64 {
@@ -133,7 +140,7 @@ func runMicroOracle(in microInput) microResult {
 		return t
 	}
 	// k*_i = largest ℓ with Δ(i,ℓ) > γ·b_i·ŵ_ℓ/β (-1 if none).
-	kstar := make(map[int32]int)
+	kstar := sc.kstar
 	gammaOverBeta := gamma / in.beta
 	var viol []int32
 	gammaV := 0.0
@@ -151,8 +158,12 @@ func runMicroOracle(in microInput) microResult {
 			gammaV += delta(i, ks)
 		}
 	}
-	// Case A (step 5): vertex violations pay.
+	// Case A (step 5): vertex violations pay. The answer container is
+	// lent from the scratch pool: the binary search in runMiniOracle
+	// holds several micro answers at once, and all of them die by the
+	// next MiniOracle call's reclaim.
 	if gammaV >= in.eps*gamma/24 {
+		res.answer.xEntries = sc.xents.getEmpty()
 		for _, i := range viol {
 			ks := kstar[i]
 			for _, pe := range pos[i] {
@@ -165,6 +176,7 @@ func runMicroOracle(in microInput) microResult {
 				res.answer.xEntries = append(res.answer.xEntries, xEntry{v: i, k: pe.k, val: val})
 			}
 		}
+		sc.xents.retain(res.answer.xEntries)
 		return res
 	}
 	// Step 9: raise ζ to ζ̄ on violating (i, k<=k*, k∈Pos).
@@ -181,7 +193,7 @@ func runMicroOracle(in microInput) microResult {
 	}
 	// γ′ (step 10).
 	gammaP := usC
-	zetaBarSums := make(map[rowKey]float64) // cache ζ̄ per touched row
+	zetaBarSums := sc.zetaBarSums // cache ζ̄ per touched row
 	for _, rk := range sKeys {
 		zb := zetaBar(rk.v, rk.k)
 		zetaBarSums[rk] = zb
@@ -224,20 +236,31 @@ func runMicroOracle(in microInput) microResult {
 	// collections: for ℓ between two active levels the charges q(ℓ) are
 	// identical to those of the next active level up, so z_{U,ℓ} placed
 	// there covers the same constraints. Iterate active levels only.
-	activeDesc := make([]int, 0, len(levelsInUse))
+	activeDesc := sc.activeDesc
 	//lint:ordered key collection, sortDesc'd immediately below
 	for l := range levelsInUse {
 		activeDesc = append(activeDesc, l)
 	}
 	sortDesc(activeDesc)
+	sc.activeDesc = activeDesc
+	// The odd-set instance buffers live one level at a time: Collect
+	// returns fresh member copies, so nothing retained by perLevel
+	// aliases them and the next level overwrites in place.
+	if cap(sc.qhat) < nV {
+		sc.qhat = make([]float64, nV)
+	}
+	if cap(sc.bnorm) < nV {
+		sc.bnorm = make([]int, nV)
+	}
 	for _, l := range activeDesc {
 		inst := &oddset.Instance{
 			N:       nV,
-			QHat:    make([]float64, nV),
+			QHat:    sc.qhat[:nV],
 			MaxNorm: in.maxNorm,
 			Eps:     in.eps,
 		}
-		bn := make([]int, nV)
+		inst.Edges = sc.qedges[:0]
+		bn := sc.bnorm[:nV]
 		unit := true
 		for v := 0; v < nV; v++ {
 			bn[v] = in.bOf(v)
@@ -260,6 +283,7 @@ func runMicroOracle(in microInput) microResult {
 				inst.Edges = append(inst.Edges, oddset.QEdge{U: e.u, V: e.v, Q: scaleQ * e.w})
 			}
 		}
+		sc.qedges = inst.Edges
 		sets := inst.Collect()
 		if len(sets) == 0 {
 			continue
@@ -283,8 +307,11 @@ func runMicroOracle(in microInput) microResult {
 		}
 		perLevel = append(perLevel, ls)
 	}
-	// Case B (step 16): odd-set violations pay. (Note use of γ′.)
+	// Case B (step 16): odd-set violations pay. (Note use of γ′.) The
+	// entry container is pooled; the member lists are NOT — addZSet
+	// retains them in the dual state, so sortedMembers allocates fresh.
 	if gammaOs >= in.eps*gammaP/24 && gammaOs > 0 {
+		res.answer.zEntries = sc.zents.getEmpty()
 		for _, ls := range perLevel {
 			for si := range ls.sets {
 				members := make([]int32, len(ls.sets[si].Members))
@@ -298,6 +325,7 @@ func runMicroOracle(in microInput) microResult {
 				})
 			}
 		}
+		sc.zents.retain(res.answer.zEntries)
 		return res
 	}
 	// Part (i): nothing pays — the support certifies a large matching.

@@ -22,16 +22,20 @@ type miniResult struct {
 }
 
 // answerAccum mirrors x ← (1-σ)x + σx̃ over sparse answers with a global
-// scale factor.
+// scale factor. Its containers come from the scratch (entries are value
+// copies; the member slices inside zEntries stay owned by their fresh
+// allocations), so the growth across a packing run is retained for the
+// next oracle use.
 type answerAccum struct {
 	scale float64
 	acc   oracleAnswer
+	sc    *oracleScratch
 }
 
-func newAnswerAccum(first *oracleAnswer) *answerAccum {
-	a := &answerAccum{scale: 1}
-	a.acc.xEntries = append(a.acc.xEntries, first.xEntries...)
-	a.acc.zEntries = append(a.acc.zEntries, first.zEntries...)
+func newAnswerAccum(first *oracleAnswer, sc *oracleScratch) *answerAccum {
+	a := &answerAccum{scale: 1, sc: sc}
+	a.acc.xEntries = append(sc.accX[:0], first.xEntries...)
+	a.acc.zEntries = append(sc.accZ[:0], first.zEntries...)
 	return a
 }
 
@@ -47,40 +51,56 @@ func (a *answerAccum) step(sigma float64, ans *oracleAnswer) {
 }
 
 func (a *answerAccum) final() oracleAnswer {
-	out := oracleAnswer{}
+	// Retain the grown backing for the scratch's next accumulator; the
+	// final answer is consumed (copied into the dual state) before the
+	// next MiniOracle call reuses either buffer.
+	a.sc.accX, a.sc.accZ = a.acc.xEntries, a.acc.zEntries
+	out := oracleAnswer{xEntries: a.sc.finX[:0], zEntries: a.sc.finZ[:0]}
 	for _, xe := range a.acc.xEntries {
 		out.xEntries = append(out.xEntries, xEntry{xe.v, xe.k, xe.val * a.scale})
 	}
 	for _, ze := range a.acc.zEntries {
 		out.zEntries = append(out.zEntries, zEntry{ze.members, ze.level, ze.val * a.scale})
 	}
+	a.sc.finX, a.sc.finZ = out.xEntries, out.zEntries
 	return out
 }
 
-// runMiniOracle executes the inner loop for a support.
+// runMiniOracle executes the inner loop for a support. sc supplies the
+// retained scratch of the sequential oracle loop; nil allocates a fresh
+// one (the cold path, bit-identical by the scratch contract).
 func runMiniOracle(edges []supportEdge, beta, eps float64, prof Profile,
-	bOf func(v int) int, wHat func(k int) float64, nLevels, maxNorm int) miniResult {
+	bOf func(v int) int, wHat func(k int) float64, nLevels, maxNorm int,
+	sc *oracleScratch) miniResult {
 
+	if sc == nil {
+		sc = newOracleScratch()
+	}
+	sc.beginMini()
 	res := miniResult{}
 	if len(edges) == 0 {
 		return res
 	}
 	// P_o rows: (i,k) pairs with incident support edges; q_o = 3ŵ_k.
-	rowIndex := map[rowKey]int{}
-	var rows []rowKey
-	vertexRows := map[int32][]int{} // vertex -> row indices
+	rowIndex := sc.rowIndex
+	rows := sc.rows
+	vertexRows := sc.vertexRows
 	for _, e := range edges {
 		for _, rk := range [2]rowKey{{e.u, e.k}, {e.v, e.k}} {
 			if _, ok := rowIndex[rk]; !ok {
 				rowIndex[rk] = len(rows)
+				if _, seen := vertexRows[rk.v]; !seen {
+					vertexRows[rk.v] = sc.rowList()
+				}
 				vertexRows[rk.v] = append(vertexRows[rk.v], len(rows))
 				rows = append(rows, rk)
 			}
 		}
 	}
+	sc.rows = rows
 	// Row values of an answer: (2x_i(k) + Σ_{ℓ<=k} Σ_{U∋i} z_{U,ℓ}) / 3ŵ_k.
 	rowValues := func(ans *oracleAnswer) []float64 {
-		rv := make([]float64, len(rows))
+		rv := sc.f64s.get(len(rows))
 		for _, xe := range ans.xEntries {
 			if ri, ok := rowIndex[rowKey{xe.v, xe.k}]; ok {
 				rv[ri] += 2 * xe.val
@@ -111,7 +131,8 @@ func runMiniOracle(edges []supportEdge, beta, eps float64, prof Profile,
 	// Oracle-P: Lemma 10's binary search over ϱ.
 	oracle := func(z []float64, _ int) ([]float64, bool) {
 		// ζ_{i,k} = z_row / (3ŵ_k) (the PST multipliers carry 1/d_r).
-		zeta := make(map[rowKey]float64, len(rows))
+		zeta := sc.zeta
+		clear(zeta)
 		zTqo := 0.0
 		for ri, rk := range rows {
 			if z[ri] > 0 {
@@ -126,11 +147,11 @@ func runMiniOracle(edges []supportEdge, beta, eps float64, prof Profile,
 		rho0 := 12 * usC / (13 * zTqo)
 		call := func(rho float64) (microResult, []float64, float64) {
 			res.microCalls++
-			mr := runMicroOracle(microInput{
+			mr := runMicroOracleScratch(microInput{
 				edges: edges, zeta: zeta, rho: rho, beta: beta, eps: eps,
 				bOf: bOf, wHat: wHat, nLevels: nLevels, maxNorm: maxNorm,
 				noOdd: prof.DisableOddSets,
-			})
+			}, sc)
 			rv := rowValues(&mr.answer)
 			zPo := 0.0
 			for ri := range rows {
@@ -181,7 +202,7 @@ func runMiniOracle(edges []supportEdge, beta, eps float64, prof Profile,
 				// Still violating at ϱ0 (numerical corner); fall back to
 				// the zero answer.
 				hiAns = oracleAnswer{}
-				hiRv = make([]float64, len(rows))
+				hiRv = sc.f64s.get(len(rows))
 				hiZ = 0
 			}
 		}
@@ -198,8 +219,8 @@ func runMiniOracle(edges []supportEdge, beta, eps float64, prof Profile,
 			s1 = 1
 		}
 		s2 := 1 - s1
-		pending = *combineAnswers(&loAns, s1, &hiAns, s2)
-		crv := make([]float64, len(rows))
+		pending = combineAnswers(&loAns, s1, &hiAns, s2, sc)
+		crv := sc.f64s.get(len(rows))
 		for ri := range rows {
 			crv[ri] = s1*loRv[ri] + s2*hiRv[ri]
 		}
@@ -207,11 +228,11 @@ func runMiniOracle(edges []supportEdge, beta, eps float64, prof Profile,
 	}
 
 	// First oracle call provides the packing framework's initial x0.
-	firstRv, ok := oracle(uniform(len(rows)), 0)
+	firstRv, ok := oracle(uniform(len(rows), sc), 0)
 	if !ok {
 		return res
 	}
-	accum = newAnswerAccum(&pending)
+	accum = newAnswerAccum(&pending, sc)
 	pres, err := pack.Solve(firstRv, oracle, pack.Options{
 		Delta:    eps / 6,
 		RhoPrime: prof.InnerRho(eps),
@@ -229,17 +250,19 @@ func runMiniOracle(edges []supportEdge, beta, eps float64, prof Profile,
 	return res
 }
 
-func uniform(n int) []float64 {
-	u := make([]float64, n)
+func uniform(n int, sc *oracleScratch) []float64 {
+	u := sc.f64s.get(n)
 	for i := range u {
 		u[i] = 1
 	}
 	return u
 }
 
-// combineAnswers returns s1·a + s2·b as a fresh answer.
-func combineAnswers(a *oracleAnswer, s1 float64, b *oracleAnswer, s2 float64) *oracleAnswer {
-	out := &oracleAnswer{}
+// combineAnswers returns s1·a + s2·b in the scratch's combination
+// buffers — one combined answer is alive at a time (the packing loop
+// consumes it via OnAccept before the next oracle invocation).
+func combineAnswers(a *oracleAnswer, s1 float64, b *oracleAnswer, s2 float64, sc *oracleScratch) oracleAnswer {
+	out := oracleAnswer{xEntries: sc.combX[:0], zEntries: sc.combZ[:0]}
 	if s1 > 0 {
 		for _, xe := range a.xEntries {
 			out.xEntries = append(out.xEntries, xEntry{xe.v, xe.k, xe.val * s1})
@@ -256,5 +279,6 @@ func combineAnswers(a *oracleAnswer, s1 float64, b *oracleAnswer, s2 float64) *o
 			out.zEntries = append(out.zEntries, zEntry{ze.members, ze.level, ze.val * s2})
 		}
 	}
+	sc.combX, sc.combZ = out.xEntries, out.zEntries
 	return out
 }

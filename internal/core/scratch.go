@@ -1,0 +1,278 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/oddset"
+)
+
+// oracleScratch owns the retained working buffers of the sequential
+// refine-and-use loop: the P_o row machinery of runMiniOracle, the
+// per-call maps and odd-set instance buffers of runMicroOracle, and the
+// answer containers the packing framework averages. One scratch belongs
+// to one solver and the oracle loop is sequential, so nothing locks.
+//
+// The aliasing rules that keep reuse sound:
+//
+//   - Pools with lent tracking (row-value vectors, answer containers)
+//     are reclaimed at the START of each runMiniOracle call. Everything
+//     handed out during the previous call is dead by then — the final
+//     answer is consumed by dualState.Average before the next use, and
+//     pack.Solve copies its initial rows instead of retaining them.
+//   - Maps and append-buffers without lent tracking are cleared at the
+//     start of the call that owns them (zeta per packing-oracle
+//     invocation, the odd-set buffers per MicroOracle call).
+//   - Anything that lands in long-lived state is NEVER pooled: odd-set
+//     member lists (retained by dualState.addZSet) stay freshly
+//     allocated in sortedMembers, as do the LP7 witness fields.
+//
+// A nil scratch is legal everywhere and means "allocate fresh", which
+// is also how the tests drive the oracles directly.
+type oracleScratch struct {
+	// MiniOracle row machinery, rebuilt per call.
+	rowIndex   map[rowKey]int
+	rows       []rowKey
+	vertexRows map[int32][]int
+	rowSpare   [][]int // retired vertexRows value slices
+	zeta       map[rowKey]float64
+
+	// refineBatch buffers: per-level support rows (each written only by
+	// the worker that owns its index, so the parallel fan-out stays
+	// race-free) and their level-order concatenation. The concatenated
+	// support is consumed by the runMiniOracle call that follows and is
+	// dead by the next refineBatch.
+	perLevel [][]supportEdge
+	support  []supportEdge
+
+	f64s  lentPool[float64] // row-value vectors (rv, crv, uniform)
+	xents lentPool[xEntry]  // answer containers; entries are value copies
+	zents lentPool[zEntry]  // (zEntry member pointers stay fresh)
+
+	// answerAccum backing: one accumulator and one final answer live per
+	// MiniOracle call, so these are plain fields, not pools — growth
+	// across the packing iterations is retained.
+	accX, finX, combX []xEntry
+	accZ, finZ, combZ []zEntry
+
+	// MicroOracle per-call state.
+	s           map[rowKey]float64
+	levelsInUse map[int]bool
+	zetaKeys    []rowKey // both key buffers are alive at once, hence two
+	sKeys       []rowKey
+	pos         map[int32][]posEntry
+	posSpare    [][]posEntry
+	posVerts    []int32
+	kstar       map[int32]int
+	zetaBarSums map[rowKey]float64
+	activeDesc  []int
+	qhat        []float64      // oddset.Instance charge vector, len nV
+	bnorm       []int          // oddset.Instance norms, len nV
+	qedges      []oddset.QEdge // oddset.Instance edge list
+}
+
+func newOracleScratch() *oracleScratch {
+	return &oracleScratch{
+		rowIndex:    make(map[rowKey]int),
+		vertexRows:  make(map[int32][]int),
+		zeta:        make(map[rowKey]float64),
+		s:           make(map[rowKey]float64),
+		levelsInUse: make(map[int]bool),
+		pos:         make(map[int32][]posEntry),
+		kstar:       make(map[int32]int),
+		zetaBarSums: make(map[rowKey]float64),
+	}
+}
+
+// beginMini resets the scratch for one runMiniOracle call: reclaim the
+// lent pools (the previous call's buffers are all dead, see above) and
+// clear the row machinery.
+func (sc *oracleScratch) beginMini() {
+	sc.f64s.reclaim()
+	sc.xents.reclaim()
+	sc.zents.reclaim()
+	clear(sc.rowIndex)
+	sc.rows = sc.rows[:0]
+	//lint:ordered slice recycling into a spare pool; order never observed
+	for v, l := range sc.vertexRows {
+		sc.rowSpare = append(sc.rowSpare, l[:0])
+		delete(sc.vertexRows, v)
+	}
+}
+
+// rowList returns an empty []int for a vertexRows entry, recycling a
+// retired one when available.
+func (sc *oracleScratch) rowList() []int {
+	if last := len(sc.rowSpare) - 1; last >= 0 {
+		l := sc.rowSpare[last]
+		sc.rowSpare = sc.rowSpare[:last]
+		return l
+	}
+	return nil
+}
+
+// beginMicro resets the MicroOracle per-call state.
+func (sc *oracleScratch) beginMicro() {
+	clear(sc.s)
+	clear(sc.levelsInUse)
+	clear(sc.kstar)
+	clear(sc.zetaBarSums)
+	sc.posVerts = sc.posVerts[:0]
+	sc.activeDesc = sc.activeDesc[:0]
+	//lint:ordered slice recycling into a spare pool; order never observed
+	for v, l := range sc.pos {
+		sc.posSpare = append(sc.posSpare, l[:0])
+		delete(sc.pos, v)
+	}
+}
+
+// posList returns an empty []posEntry, recycling a retired one.
+func (sc *oracleScratch) posList() []posEntry {
+	if last := len(sc.posSpare) - 1; last >= 0 {
+		l := sc.posSpare[last]
+		sc.posSpare = sc.posSpare[:last]
+		return l
+	}
+	return nil
+}
+
+// posEntry is one positive-deficit level of a vertex (d_{i,k} > 0).
+type posEntry struct {
+	k int
+	d float64
+}
+
+// retainedWords approximates the scratch's pooled footprint in 64-bit
+// words: slice-backed buffers at capacity, struct sizes rounded up to
+// whole words. The map-backed scratch (row index, ζ, deficit tables) is
+// excluded — Go maps do not expose their footprint — so this is a
+// floor. Retained capacity, never part of any run's metered live space.
+func (sc *oracleScratch) retainedWords() int {
+	const (
+		rowKeyW      = 2 // {int32, int}
+		supportEdgeW = 4 // {int32, int32, int, float64, int}
+		xEntryW      = 3 // {int32, int, float64}
+		zEntryW      = 5 // {int, float64, []int32 header}
+		posEntryW    = 2 // {int, float64}
+		qEdgeW       = 2 // {int32, int32, float64}
+	)
+	w := rowKeyW * (cap(sc.rows) + cap(sc.zetaKeys) + cap(sc.sKeys))
+	for _, l := range sc.rowSpare {
+		w += cap(l)
+	}
+	w += supportEdgeW * cap(sc.support)
+	for _, row := range sc.perLevel {
+		w += supportEdgeW * cap(row)
+	}
+	w += sc.f64s.capWords(1)
+	w += sc.xents.capWords(xEntryW)
+	w += sc.zents.capWords(zEntryW)
+	w += xEntryW * (cap(sc.accX) + cap(sc.finX) + cap(sc.combX))
+	w += zEntryW * (cap(sc.accZ) + cap(sc.finZ) + cap(sc.combZ))
+	for _, l := range sc.posSpare {
+		w += posEntryW * cap(l)
+	}
+	w += (cap(sc.posVerts) + 1) / 2
+	w += cap(sc.activeDesc) + cap(sc.qhat) + cap(sc.bnorm)
+	w += qEdgeW * cap(sc.qedges)
+	return w
+}
+
+// lentPool is a typed free-list with wholesale reclaim — the engine
+// arena's bufPool pattern scoped to the oracle loop, where buffers turn
+// over per call rather than per run. get pops the most recently freed
+// buffer when it fits (within one MiniOracle call nearly every request
+// has the same length, so the last-freed buffer almost always fits and
+// the best-fit scan never runs), zeroes it to the requested length, and
+// records it as lent; getEmpty returns a zero-length buffer for
+// append-style use.
+type lentPool[T any] struct {
+	free [][]T
+	lent [][]T
+}
+
+func (p *lentPool[T]) get(n int) []T {
+	var buf []T
+	if last := len(p.free) - 1; last >= 0 && cap(p.free[last]) >= n {
+		buf = p.free[last][:n]
+		p.free = p.free[:last]
+		clear(buf)
+	} else {
+		best := -1
+		for i, b := range p.free {
+			if cap(b) >= n && (best < 0 || cap(b) < cap(p.free[best])) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			last := len(p.free) - 1
+			buf = p.free[best][:n]
+			p.free[best] = p.free[last]
+			p.free = p.free[:last]
+			clear(buf)
+		} else {
+			buf = make([]T, n)
+		}
+	}
+	p.lent = append(p.lent, buf)
+	return buf
+}
+
+func (p *lentPool[T]) getEmpty() []T {
+	return p.get(0)[:0]
+}
+
+// retain replaces the most recently lent header with buf, so append
+// growth past the pooled capacity is kept at reclaim. Must follow the
+// get that produced buf's original backing with no interleaving get on
+// the same pool.
+func (p *lentPool[T]) retain(buf []T) {
+	if last := len(p.lent) - 1; last >= 0 {
+		p.lent[last] = buf
+	}
+}
+
+func (p *lentPool[T]) reclaim() {
+	p.free = append(p.free, p.lent...)
+	p.lent = p.lent[:0]
+}
+
+// capWords sums both lists' capacity at wordsPerElem words per element.
+func (p *lentPool[T]) capWords(wordsPerElem int) int {
+	n := 0
+	for _, b := range p.free {
+		n += cap(b)
+	}
+	for _, b := range p.lent {
+		n += cap(b)
+	}
+	return wordsPerElem * n
+}
+
+// sortedRowKeysInto is sortedRowKeys appending into a caller-retained
+// buffer: the canonical (v, k) accumulation order without the per-call
+// key-slice allocation and without sort.Slice's reflection-based
+// swapper. Map keys are distinct, so any correct sort produces the same
+// permutation — bit-identical to the sort.Slice path.
+func sortedRowKeysInto(buf []rowKey, m map[rowKey]float64) []rowKey {
+	keys := buf[:0]
+	//lint:ordered key collection, sorted immediately below
+	for rk := range m {
+		keys = append(keys, rk)
+	}
+	slices.SortFunc(keys, func(a, b rowKey) int {
+		if a.v != b.v {
+			if a.v < b.v {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.k < b.k:
+			return -1
+		case a.k > b.k:
+			return 1
+		}
+		return 0
+	})
+	return keys
+}

@@ -70,6 +70,12 @@ func (s *Session) Solve(ctx context.Context, src stream.Source, ext Extensions, 
 // Runs returns how many solves the session has started.
 func (s *Session) Runs() int { return s.runs }
 
-// RetainedWords reports the session arena's retained scratch capacity —
-// warm memory between runs, not part of any run's metered live space.
-func (s *Session) RetainedWords() int { return s.arena.RetainedWords() }
+// RetainedWords reports the session's retained scratch capacity — warm
+// memory between runs, not part of any run's metered live space. It
+// sums the engine arena's typed pools with the solver-owned pools this
+// arena cannot see: the sparsifier scratch (forests, shells, item and
+// reveal buffers) and the oracle-loop scratch. Map-backed scratch is
+// excluded (maps do not expose their footprint), so this is a floor.
+func (s *Session) RetainedWords() int {
+	return s.arena.RetainedWords() + s.alg.retainedWords()
+}

@@ -232,6 +232,7 @@ type dualPrimal struct {
 	unionIdx  []int
 	sub       *graph.Graph
 	ufScratch *sparsify.Scratch
+	scratch   *oracleScratch // refine + oracle-loop working buffers
 
 	// Trajectory and best-so-far primal state.
 	lambda       float64
@@ -290,6 +291,20 @@ func (a *dualPrimal) Reset(engine.Params) {
 // SetWarm installs the warm-start request for the next run (nil =
 // cold). Sessions call it after Reset, before the drive.
 func (a *dualPrimal) SetWarm(w *WarmDuals) { a.warm = w }
+
+// retainedWords sums the solver-owned pooled scratch the session arena
+// cannot see: the sparsifier scratch (forests, shells, item and reveal
+// buffers) and the oracle-loop scratch. Zero before the first Init.
+func (a *dualPrimal) retainedWords() int {
+	w := 0
+	if a.ufScratch != nil {
+		w += a.ufScratch.RetainedWords()
+	}
+	if a.scratch != nil {
+		w += a.scratch.retainedWords()
+	}
+	return w
+}
 
 // bOf adapts the source's capacities to the dual-state callbacks.
 func (a *dualPrimal) bOf(v int) int { return a.src.B(v) }
@@ -374,6 +389,7 @@ func (a *dualPrimal) Init(_ context.Context, run *engine.Run, src stream.Source)
 	}
 
 	// ---- Outer loop parameters (Algorithms 2/4) ----
+	//lint:powtable once per Init (γ = n^(1/2p), Theorem 3), not a per-round cost
 	a.gammaChi = math.Pow(float64(a.n), 1/(2*a.opt.P))
 	if a.gammaChi < 2 {
 		a.gammaChi = 2
@@ -428,6 +444,9 @@ func (a *dualPrimal) Init(_ context.Context, run *engine.Run, src stream.Source)
 	}
 	if a.ufScratch == nil || a.ufScratch.N() != a.n {
 		a.ufScratch = sparsify.NewScratch(a.n)
+	}
+	if a.scratch == nil {
+		a.scratch = newOracleScratch()
 	}
 	return nil
 }
@@ -677,9 +696,9 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 	// Sequential refinement and use of the t sparsifiers (the right
 	// half of Figure 1: no further input access).
 	for q := 0; q < a.tUses; q++ {
-		support := refineBatch(a.defs[q], a.liveLevels, scheme, state, alpha, a.lambda, a.prof.StaleRefinement, a.workers)
+		support := refineBatch(a.defs[q], a.liveLevels, scheme, state, alpha, a.lambda, a.prof.StaleRefinement, a.workers, a.scratch)
 		a.res.Stats.OracleUses++
-		mini := runMiniOracle(support, a.beta, eps, a.prof, a.bOf, wHat, a.nl, a.maxNorm)
+		mini := runMiniOracle(support, a.beta, eps, a.prof, a.bOf, wHat, a.nl, a.maxNorm, a.scratch)
 		a.res.Stats.MicroCalls += mini.microCalls
 		a.res.Stats.PackIters += mini.packIters
 		if mini.matchingWitness {
@@ -690,6 +709,13 @@ func (a *dualPrimal) Round(_ context.Context, run *engine.Run) (bool, error) {
 		if !mini.answer.isZero() {
 			state.Average(sigma, &mini.answer)
 		}
+	}
+	// Every sparsifier of the round is consumed: hand their pooled
+	// containers (items, indexes, refinement buffers) back for the next
+	// round's constructions. The freed words below are the same words a
+	// cold round frees — pooling never touches the accountant.
+	for _, d := range a.defBuf {
+		d.Release()
 	}
 	acct.Free(sampledTotal)
 
@@ -774,13 +800,19 @@ func innerWorkers(workers, jobs int) int {
 // identical for any worker count.
 func refineBatch(defs []*sparsify.Deferred, liveLevels []int,
 	scheme *levels.Scheme, state *dualState, alpha, lambda float64,
-	stale bool, workers int) []supportEdge {
+	stale bool, workers int, sc *oracleScratch) []supportEdge {
 
+	if sc == nil {
+		sc = newOracleScratch()
+	}
 	// The level fan-out is the outer parallelism; when there are fewer
 	// levels than workers (single weight class is common for unit
 	// weights) push the leftover pool down into the per-item reveals.
+	// Each job writes only its own per-level row of the scratch, so the
+	// retained buffers stay race-free.
 	inner := innerWorkers(workers, len(defs))
-	perLevel := parallel.Map(workers, len(defs), func(li int) []supportEdge {
+	sc.perLevel = resizeRows(sc.perLevel, len(defs))
+	parallel.Run(workers, len(defs), func(li int) {
 		k := liveLevels[li]
 		sp := defs[li].RefineWith(inner, func(it sparsify.Item) float64 {
 			if stale {
@@ -789,7 +821,7 @@ func refineBatch(defs []*sparsify.Deferred, liveLevels []int,
 			r := state.CoverageRatio(it.U, it.V, k)
 			return math.Exp(-alpha*(r-lambda)) / scheme.WHat(k)
 		})
-		out := make([]supportEdge, 0, len(sp.Items))
+		out := sc.perLevel[li][:0]
 		for _, item := range sp.Items {
 			out = append(out, supportEdge{
 				u: item.U, v: item.V, k: k,
@@ -797,12 +829,13 @@ func refineBatch(defs []*sparsify.Deferred, liveLevels []int,
 				origIdx: item.Orig,
 			})
 		}
-		return out
+		sc.perLevel[li] = out
 	})
-	var support []supportEdge
-	for _, out := range perLevel {
+	support := sc.support[:0]
+	for _, out := range sc.perLevel {
 		support = append(support, out...)
 	}
+	sc.support = support
 	return support
 }
 

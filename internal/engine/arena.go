@@ -1,5 +1,7 @@
 package engine
 
+import "repro/internal/sketch"
+
 // The scratch arena of a solve session. A cold solve allocates every
 // working buffer from the Go heap and drops it on the floor at Finish;
 // a *session* (see Session) keeps the same Algorithm alive across
@@ -81,6 +83,13 @@ type Arena struct {
 	bools   bufPool[bool]
 	f64rows bufPool[[]float64]
 	i32rows bufPool[[]int32]
+
+	// sketches pools whole sketch structures (spec-keyed free lists; see
+	// sketch.Arena), created on first use. Unlike the typed buffer pools
+	// it has no lent tracking: sketches are Put back explicitly by their
+	// owner (e.g. Bank.ReleaseTo) and a sketch dropped mid-run is plain
+	// garbage, so Reclaim has nothing to do for it.
+	sketches *sketch.Arena
 }
 
 // NewArena returns an empty arena.
@@ -107,6 +116,17 @@ func (a *Arena) Float64Rows(n int) [][]float64 { return a.f64rows.get(n) }
 // Int32Rows returns a length-n slice of nil []int32 row headers.
 func (a *Arena) Int32Rows(n int) [][]int32 { return a.i32rows.get(n) }
 
+// Sketches returns the session's sketch pool, creating it on first use.
+// Sketch memory retained here survives Reclaim (explicit Put/ReleaseTo
+// is the return path), so a session's bank builds stay allocation-flat
+// across rounds and runs.
+func (a *Arena) Sketches() *sketch.Arena {
+	if a.sketches == nil {
+		a.sketches = sketch.NewArena()
+	}
+	return a.sketches
+}
+
 // Reclaim returns every buffer lent since the last Reclaim to the free
 // pools. The session calls it between runs; calling it while a lent
 // buffer is still in use hands that memory to the next run, so only the
@@ -130,5 +150,8 @@ func (a *Arena) RetainedWords() int {
 	w += (a.int32s.caps() + 1) / 2
 	w += (a.bools.caps() + 7) / 8
 	w += 3 * (a.f64rows.caps() + a.i32rows.caps())
+	if a.sketches != nil {
+		w += a.sketches.RetainedWords()
+	}
 	return w
 }

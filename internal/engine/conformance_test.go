@@ -94,6 +94,9 @@ func TestConformanceEveryRegisteredAlgorithm(t *testing.T) {
 			t.Run("session-reuse", func(t *testing.T) {
 				testSessionReuse(t, g, info.Name, base)
 			})
+			t.Run("budget-on-warm-session", func(t *testing.T) {
+				testWarmSessionBudget(t, g, info.Name, base)
+			})
 		})
 	}
 }
@@ -267,6 +270,51 @@ func testSessionReuse(t *testing.T, g *graph.Graph, name string, cold *engine.Ou
 		t.Fatalf("session solve on second shape: %v", err)
 	}
 	assertSameOutcome(t, cold2, third)
+}
+
+// testWarmSessionBudget is the arena-exhaustion clause: a space budget
+// one notch under the cold peak must trip on a session's SECOND solve —
+// the one whose working memory comes from retained pools rather than
+// the allocator — with the same typed abort a cold run produces. This
+// is what keeps the arena honest: pooled buffers are retained
+// *capacity*, but the words an algorithm semantically holds are metered
+// by the SpaceAccountant regardless of where the bytes came from, so
+// warming the pools can never smuggle a run under a space budget.
+func testWarmSessionBudget(t *testing.T, g *graph.Graph, name string, base *engine.Outcome) {
+	if base.PeakWords <= 1 {
+		t.Skip("peak too small for a positive sub-peak budget")
+	}
+	sess, err := engine.NewSession(name, conformanceParams)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	// First solve, unbudgeted: warms every pool the algorithm retains.
+	if _, err := sess.Solve(context.Background(), stream.NewEdgeStream(g), engine.Extensions{}); err != nil {
+		t.Fatalf("warming solve failed: %v", err)
+	}
+	// Second solve under a just-too-small space budget: pooled memory
+	// must still be counted, so the trip must fire exactly as cold.
+	out, err := sess.Solve(context.Background(), stream.NewEdgeStream(g),
+		engine.Extensions{Budget: engine.Budget{SpaceWords: base.PeakWords - 1}})
+	if !errors.Is(err, engine.ErrBudgetExceeded) {
+		t.Fatalf("warm run under sub-peak space budget: err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *engine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is not a *BudgetError: %v", err)
+	}
+	if be.Axis != engine.AxisSpaceWords {
+		t.Errorf("tripped axis %s, want %s", be.Axis, engine.AxisSpaceWords)
+	}
+	if be.Used <= be.Limit {
+		t.Errorf("Used %d <= Limit %d", be.Used, be.Limit)
+	}
+	if out == nil || out.Matching == nil {
+		t.Fatal("tripped warm run did not return a best-so-far outcome")
+	}
+	if err := out.Matching.Validate(g); err != nil {
+		t.Errorf("best-so-far matching infeasible: %v", err)
+	}
 }
 
 func equalInts(a, b []int) bool {

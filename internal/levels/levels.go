@@ -25,6 +25,7 @@ type Scheme struct {
 	L     int     // index of the highest level in use
 
 	log1pEps float64
+	what     []float64 // ŵ_k = (1+ε)^k for k = 0..L, built once at construction
 }
 
 // NewScheme builds a discretization for accuracy eps from W* and B.
@@ -41,6 +42,13 @@ func NewScheme(eps, wstar float64, b int) (*Scheme, error) {
 	s := &Scheme{Eps: eps, WStar: wstar, B: float64(b), log1pEps: math.Log1p(eps)}
 	// The top level: the rescaled max weight is B, so L = floor(log_{1+eps} B).
 	s.L = int(math.Floor(math.Log(s.B)/s.log1pEps + 1e-12))
+	// Levels are small bounded ints, so ŵ is a table: each entry is the
+	// exact math.Pow value WHat used to compute per call, built once here.
+	s.what = make([]float64, s.L+1)
+	for k := range s.what {
+		//lint:powtable table construction; the per-call hot path reads this table
+		s.what[k] = math.Pow(1+eps, float64(k))
+	}
 	return s, nil
 }
 
@@ -49,8 +57,15 @@ func ForGraph(g *graph.Graph, eps float64) (*Scheme, error) {
 	return NewScheme(eps, g.MaxWeight(), g.TotalB())
 }
 
-// WHat returns ŵ_k = (1+ε)^k.
+// WHat returns ŵ_k = (1+ε)^k. Levels in use are 0..L, served from the
+// precomputed table; out-of-range k (never produced by Level, but legal
+// for callers probing hypothetical levels) falls back to the closed form
+// the table was built from.
 func (s *Scheme) WHat(k int) float64 {
+	if k >= 0 && k < len(s.what) {
+		return s.what[k]
+	}
+	//lint:powtable out-of-table fallback, not reachable from solver levels
 	return math.Pow(1+s.Eps, float64(k))
 }
 

@@ -59,7 +59,12 @@ func LayeredDualLP10(g *graph.Graph, epsilon float64, maxSetSize int) (float64, 
 		}
 	}
 	p := NewProblem(obj)
-	wh := func(k int) float64 { return math.Pow(1+epsilon, float64(k)) }
+	// ŵ table: one math.Pow per level instead of one per constraint row.
+	whTab := make([]float64, nl)
+	for k := range whTab {
+		whTab[k] = math.Pow(1+epsilon, float64(k))
+	}
+	wh := func(k int) float64 { return whTab[k] }
 	// Edge cover constraints at the edge's level.
 	for i, e := range g.Edges() {
 		k := lev[i]

@@ -94,6 +94,23 @@ func (b *Bank) Words() int {
 	return w
 }
 
+// ReleaseTo hands every sketch column back to the arena's free lists and
+// empties the bank. The bank must not be used afterwards; the next
+// arena-fed build of the same spec reuses the columns. Sequential —
+// release happens between builds, never inside a parallel region.
+func (b *Bank) ReleaseTo(a *Arena) {
+	for r, row := range b.sketches {
+		spec := b.spec.specs[r]
+		for _, s := range row {
+			if s != nil {
+				a.PutL0(spec, s)
+			}
+		}
+		clear(row)
+	}
+	b.sketches = nil
+}
+
 // VertexWords returns the per-vertex footprint (one vertex, all reps).
 func (b *Bank) VertexWords(v int) int {
 	w := 0

@@ -37,11 +37,24 @@ type L0 struct {
 	levels []*SSparse
 }
 
-// NewL0 returns a zeroed sampler.
+// NewL0 returns a zeroed sampler. The level sketches and their cells
+// come from two batched allocations rather than one pair per level: a
+// bank build constructs n·reps of these samplers, so the constant
+// number of allocations per sampler dominates cold-build cost. Each
+// level's cell slice is full-capacity sub-sliced, so per-level state
+// stays as independent as individually allocated sketches.
 func (spec *L0Spec) NewL0() *L0 {
+	ss := spec.sspec
+	per := ss.rows * ss.buckets
+	cells := make([]OneSparse, spec.levels*per)
+	for i := range cells {
+		cells[i] = NewOneSparse(ss.z)
+	}
+	structs := make([]SSparse, spec.levels)
 	lv := make([]*SSparse, spec.levels)
 	for i := range lv {
-		lv[i] = spec.sspec.NewSSparse()
+		structs[i] = SSparse{spec: ss, cells: cells[i*per : (i+1)*per : (i+1)*per]}
+		lv[i] = &structs[i]
 	}
 	return &L0{spec: spec, levels: lv}
 }

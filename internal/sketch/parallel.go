@@ -173,11 +173,54 @@ func (b *Bank) AddEdgesSource(src stream.Source, workers int) {
 	flush()
 }
 
+// NewBankParallelArena is NewBankParallel with the per-vertex columns
+// drawn from an arena (nil = plain allocation). The free lists are
+// pre-split into per-shard sub-arenas sequentially up front — exactly
+// the pre-split-RNG discipline of the parallel pipeline — so workers
+// never share a pool; leftovers drain back after the region. A pooled
+// column is Reset to the zero state a fresh one is constructed in, so
+// the bank is indistinguishable from a cold NewBankParallel bank.
+func (spec *IncidenceSpec) NewBankParallelArena(workers int, a *Arena) *Bank {
+	if a == nil {
+		return spec.NewBankParallel(workers)
+	}
+	b := &Bank{spec: spec, sketches: make([][]*L0, spec.reps)}
+	for r := 0; r < spec.reps; r++ {
+		b.sketches[r] = make([]*L0, spec.n)
+	}
+	shards := parallel.Shards(spec.n, parallel.Workers(workers))
+	counts := make([]int, len(shards))
+	subs := make([]*Arena, len(shards))
+	for si, sh := range shards {
+		counts[si] = sh.Hi - sh.Lo
+		subs[si] = a.Shard(si)
+	}
+	for r := 0; r < spec.reps; r++ {
+		a.PresplitL0(spec.specs[r], counts)
+	}
+	parallel.Run(workers, len(shards), func(si int) {
+		sh := shards[si]
+		for v := sh.Lo; v < sh.Hi; v++ {
+			for r := 0; r < spec.reps; r++ {
+				b.sketches[r][v] = subs[si].GetL0(spec.specs[r])
+			}
+		}
+	})
+	a.Drain()
+	return b
+}
+
 // BuildBank allocates a bank and inserts the edges, both sharded by
 // vertex range across workers — the one-round distributed construction of
 // Section 4.2 collapsed onto a shared-memory pool.
 func (spec *IncidenceSpec) BuildBank(edges []graph.Edge, workers int) *Bank {
-	b := spec.NewBankParallel(workers)
+	return spec.BuildBankArena(edges, workers, nil)
+}
+
+// BuildBankArena is BuildBank with the column allocations drawn from an
+// arena (nil = plain allocation).
+func (spec *IncidenceSpec) BuildBankArena(edges []graph.Edge, workers int, a *Arena) *Bank {
+	b := spec.NewBankParallelArena(workers, a)
 	b.AddEdges(edges, workers)
 	return b
 }
@@ -185,7 +228,13 @@ func (spec *IncidenceSpec) BuildBank(edges []graph.Edge, workers int) *Bank {
 // BuildBankSource allocates a bank and inserts the edges served by a
 // Source — the distributed construction driven by any access backend.
 func (spec *IncidenceSpec) BuildBankSource(src stream.Source, workers int) *Bank {
-	b := spec.NewBankParallel(workers)
+	return spec.BuildBankSourceArena(src, workers, nil)
+}
+
+// BuildBankSourceArena is BuildBankSource with the column allocations
+// drawn from an arena (nil = plain allocation).
+func (spec *IncidenceSpec) BuildBankSourceArena(src stream.Source, workers int, a *Arena) *Bank {
+	b := spec.NewBankParallelArena(workers, a)
 	b.AddEdgesSource(src, workers)
 	return b
 }

@@ -49,14 +49,20 @@ func NewDeferredBuilder(n, m int, chi float64, cfg Config) (*DeferredBuilder, er
 	if m < 0 {
 		return nil, fmt.Errorf("sparsify: negative edge count %d", m)
 	}
-	return &DeferredBuilder{
-		n:       n,
-		m:       m,
-		chi:     chi,
-		cfg:     deferredConfig(n, chi, cfg),
-		classes: make(map[int]*construction),
-		info:    make(map[int]builderEdge),
-	}, nil
+	b := &DeferredBuilder{
+		n:   n,
+		m:   m,
+		chi: chi,
+		cfg: deferredConfig(n, chi, cfg),
+	}
+	if s := b.cfg.Scratch; s != nil && s.n == n {
+		b.classes = s.getClassMap()
+		b.info = s.getInfoMap()
+	} else {
+		b.classes = make(map[int]*construction)
+		b.info = make(map[int]builderEdge)
+	}
+	return b, nil
 }
 
 // Add streams one edge into the construction. localIdx must be the edge's
@@ -84,19 +90,40 @@ func (b *DeferredBuilder) Add(localIdx int, u, v int32, w float64, orig int, sig
 // increasing class order — the order NewDeferred's sorted bucketByClass
 // produces — so the structure is identical to the array-fed construction
 // on the same input. When the builder was configured with a Scratch,
-// Finish releases every forest back to the pool on the way out: the
-// emitted Deferred carries only its Items and needs no forest state.
+// Finish draws the emitted structure's containers from the pool and
+// retires every construction (forests and shells) back to it on the way
+// out: the Deferred carries only its Items and needs no forest state,
+// and the caller hands the containers back through Deferred.Release.
+// The builder must not be used after Finish.
 func (b *DeferredBuilder) Finish() *Deferred {
+	var scr *Scratch
+	if s := b.cfg.Scratch; s != nil && s.n == b.n {
+		scr = s
+	}
 	keys := make([]int, 0, len(b.classes))
 	//lint:ordered key collection, sorted immediately below
 	for cl := range b.classes {
 		keys = append(keys, cl)
 	}
 	sort.Ints(keys)
-	d := &Deferred{n: b.n, chi: b.chi, byEdge: make(map[int]int)}
+	d := &Deferred{n: b.n, chi: b.chi, scr: scr}
+	var seen map[int]bool
+	if scr != nil {
+		d.byEdge = scr.getIntMap()
+		d.items = scr.getItems(0)
+		seen = scr.getBoolMap()
+	} else {
+		d.byEdge = make(map[int]int)
+	}
 	for _, cl := range keys {
 		sub := b.classes[cl]
-		seen := make(map[int]bool)
+		// Per-class dedup: edge indices never repeat across classes, so
+		// one cleared map behaves exactly like a fresh map per class.
+		if scr != nil {
+			clear(seen)
+		} else {
+			seen = make(map[int]bool)
+		}
 		for i := 0; i < sub.numLv; i++ {
 			for _, idx := range sub.stored[i] {
 				if seen[idx] {
@@ -111,7 +138,7 @@ func (b *DeferredBuilder) Finish() *Deferred {
 				if sub.levelOf(idx) < ipLv {
 					continue
 				}
-				prob := math.Pow(0.5, float64(ipLv))
+				prob := retentionProb(ipLv)
 				d.byEdge[idx] = len(d.items)
 				d.items = append(d.items, Item{
 					EdgeIdx: idx,
@@ -124,7 +151,13 @@ func (b *DeferredBuilder) Finish() *Deferred {
 				})
 			}
 		}
-		sub.release()
+		sub.retire()
+	}
+	if scr != nil {
+		scr.putBoolMap(seen)
+		scr.putClassMap(b.classes)
+		scr.putInfoMap(b.info)
+		b.classes, b.info = nil, nil
 	}
 	return d
 }

@@ -23,6 +23,36 @@ type Deferred struct {
 	chi    float64
 	items  []Item // probabilities fixed at sampling time; Weight holds ς until refined
 	byEdge map[int]int
+
+	// scr is the pool the structure's containers return to on Release
+	// (set when built through a Scratch-configured DeferredBuilder; nil
+	// means plain heap ownership). refined retains the backing of the
+	// last RefineWith output so Release can reclaim it — the solver
+	// consumes each refinement before releasing the structure.
+	scr     *Scratch
+	refined []Item
+}
+
+// Release hands the structure's pooled containers (items, byEdge index,
+// and the last refinement's backing) back to the Scratch it was built
+// with. No-op without one. The Deferred — and any Sparsifier its
+// RefineWith produced — must not be used afterwards.
+func (d *Deferred) Release() {
+	if d.scr == nil {
+		return
+	}
+	if d.items != nil {
+		d.scr.putItems(d.items)
+		d.items = nil
+	}
+	if d.byEdge != nil {
+		d.scr.putIntMap(d.byEdge)
+		d.byEdge = nil
+	}
+	if d.refined != nil {
+		d.scr.putItems(d.refined)
+		d.refined = nil
+	}
 }
 
 // NewDeferred samples the structure D from promise values sigma (indexed
@@ -77,7 +107,7 @@ func NewDeferred(n int, edgeEndpoints func(i int) (u, v int32), m int, sigma []f
 				if sub.levelOf(idx) < ipLv {
 					continue
 				}
-				prob := math.Pow(0.5, float64(ipLv))
+				prob := retentionProb(ipLv)
 				items = append(items, Item{
 					EdgeIdx: idx,
 					Orig:    idx,
@@ -167,19 +197,33 @@ func (d *Deferred) RefineParallel(workers int, reveal func(edgeIdx int) float64)
 // refinement needs no random access back into the input stream — the
 // out-of-core reveal path of the solver.
 func (d *Deferred) RefineWith(workers int, reveal func(it Item) float64) *Sparsifier {
-	revealed := make([]float64, len(d.items))
+	var revealed []float64
+	if d.scr != nil {
+		revealed = d.scr.getF64s(len(d.items))
+	} else {
+		revealed = make([]float64, len(d.items))
+	}
 	parallel.ForEachShard(workers, len(d.items), func(_ int, sh parallel.Range) {
 		for i := sh.Lo; i < sh.Hi; i++ {
 			revealed[i] = reveal(d.items[i])
 		}
 	})
-	items := make([]Item, 0, len(d.items))
+	var items []Item
+	if d.scr != nil {
+		items = d.scr.getItems(len(d.items))
+	} else {
+		items = make([]Item, 0, len(d.items))
+	}
 	for i, it := range d.items {
 		if revealed[i] <= 0 {
 			continue
 		}
 		it.Weight = revealed[i] / it.Prob
 		items = append(items, it)
+	}
+	if d.scr != nil {
+		d.scr.putF64s(revealed)
+		d.refined = items // reclaimed by Release
 	}
 	return &Sparsifier{N: d.n, Items: items}
 }

@@ -1,0 +1,28 @@
+package sparsify
+
+import "math"
+
+// pow05 caches 2^(−i) for every subsampling level a construction can
+// produce: numLv grows by one per doubling of the edge count, so level
+// indices stay far below 64 for any input that fits in memory. Entries
+// are the exact math.Pow values the emission paths used to compute per
+// stored edge, built once at package init.
+var pow05 [64]float64
+
+func init() {
+	for i := range pow05 {
+		//lint:powtable table construction; the per-item hot path reads this table
+		pow05[i] = math.Pow(0.5, float64(i))
+	}
+}
+
+// retentionProb returns 2^(−level), the survival probability of an edge
+// kept at subsampling level `level`, from the table (closed-form
+// fallback for out-of-range levels, which no realistic m produces).
+func retentionProb(level int) float64 {
+	if level >= 0 && level < len(pow05) {
+		return pow05[level]
+	}
+	//lint:powtable out-of-table fallback, unreachable below 2^63 edges
+	return math.Pow(0.5, float64(level))
+}

@@ -6,7 +6,7 @@ import (
 	"repro/internal/unionfind"
 )
 
-// Scratch is a reusable pool of union-find forests for the leveled
+// Scratch is a reusable pool of working structures for the leveled
 // sparsifier constructions. The lazy forest allocation of construction
 // (one unionfind.New(n) per forest, per level, per weight class, per
 // (use, level) job, per sampling round) is the dominant per-round
@@ -17,13 +17,29 @@ import (
 // zero ranks), so wiring a Scratch through Config never changes any
 // construction's output.
 //
-// Get and Put are safe for concurrent use: the per-class and per-job
-// constructions of one sampling round run on the worker pool and share
-// the solve's Scratch.
+// Beyond forests, the pool recycles the rest of the builder lifecycle's
+// containers: construction shells (level spines and stored-index rows),
+// the builder's class and side-data maps, the emitted Deferred's item
+// slices and byEdge index, and the refinement's reveal buffers. Every
+// getter hands back a logically empty structure (cleared map, length-0
+// or fully-overwritten slice), so pooled and cold constructions are
+// bit-identical.
+//
+// All getters and putters are safe for concurrent use: the per-class
+// and per-job constructions of one sampling round run on the worker
+// pool and share the solve's Scratch.
 type Scratch struct {
 	n    int
 	mu   sync.Mutex
 	free []*unionfind.UF
+
+	shells   []*construction
+	infos    []map[int]builderEdge
+	classes  []map[int]*construction
+	intMaps  []map[int]int
+	boolMaps []map[int]bool
+	items    [][]Item
+	f64s     [][]float64
 }
 
 // NewScratch returns an empty pool of forests over n elements.
@@ -37,6 +53,34 @@ func (s *Scratch) Retained() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.free)
+}
+
+// RetainedWords reports the pool's slice-backed capacity in 64-bit
+// words (forests, construction-shell rows, item and reveal buffers; an
+// Item is 6 words). The map pools are excluded — Go maps do not expose
+// their footprint — so this is a floor on what the pool keeps warm.
+// Like every arena-side count, retained capacity is never part of any
+// run's metered live space.
+func (s *Scratch) RetainedWords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := 0
+	for _, uf := range s.free {
+		w += uf.Words()
+	}
+	for _, c := range s.shells {
+		for _, row := range c.stored {
+			w += cap(row)
+		}
+		w += 3 * (cap(c.ufs) + cap(c.stored)) // spine headers
+	}
+	for _, b := range s.items {
+		w += 6 * cap(b)
+	}
+	for _, b := range s.f64s {
+		w += cap(b)
+	}
+	return w
 }
 
 // Get returns a forest of n singleton sets: a pooled one Reset in
@@ -62,5 +106,144 @@ func (s *Scratch) Get() *unionfind.UF {
 func (s *Scratch) Put(ufs ...*unionfind.UF) {
 	s.mu.Lock()
 	s.free = append(s.free, ufs...)
+	s.mu.Unlock()
+}
+
+// getShell pops a retired construction shell (nil when none is
+// pooled); putShell retires one. The caller re-initializes every field
+// except the retained spine/row capacity.
+func (s *Scratch) getShell() *construction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last := len(s.shells) - 1; last >= 0 {
+		c := s.shells[last]
+		s.shells = s.shells[:last]
+		return c
+	}
+	return nil
+}
+
+func (s *Scratch) putShell(c *construction) {
+	s.mu.Lock()
+	s.shells = append(s.shells, c)
+	s.mu.Unlock()
+}
+
+// The map getters return empty maps (pooled ones are cleared on the
+// way back in), the slice getters length-0 slices with whatever
+// capacity a retired buffer carried.
+
+func (s *Scratch) getInfoMap() map[int]builderEdge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last := len(s.infos) - 1; last >= 0 {
+		m := s.infos[last]
+		s.infos = s.infos[:last]
+		return m
+	}
+	return make(map[int]builderEdge)
+}
+
+func (s *Scratch) putInfoMap(m map[int]builderEdge) {
+	clear(m)
+	s.mu.Lock()
+	s.infos = append(s.infos, m)
+	s.mu.Unlock()
+}
+
+func (s *Scratch) getClassMap() map[int]*construction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last := len(s.classes) - 1; last >= 0 {
+		m := s.classes[last]
+		s.classes = s.classes[:last]
+		return m
+	}
+	return make(map[int]*construction)
+}
+
+func (s *Scratch) putClassMap(m map[int]*construction) {
+	clear(m)
+	s.mu.Lock()
+	s.classes = append(s.classes, m)
+	s.mu.Unlock()
+}
+
+func (s *Scratch) getIntMap() map[int]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last := len(s.intMaps) - 1; last >= 0 {
+		m := s.intMaps[last]
+		s.intMaps = s.intMaps[:last]
+		return m
+	}
+	return make(map[int]int)
+}
+
+func (s *Scratch) putIntMap(m map[int]int) {
+	clear(m)
+	s.mu.Lock()
+	s.intMaps = append(s.intMaps, m)
+	s.mu.Unlock()
+}
+
+func (s *Scratch) getBoolMap() map[int]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last := len(s.boolMaps) - 1; last >= 0 {
+		m := s.boolMaps[last]
+		s.boolMaps = s.boolMaps[:last]
+		return m
+	}
+	return make(map[int]bool)
+}
+
+func (s *Scratch) putBoolMap(m map[int]bool) {
+	clear(m)
+	s.mu.Lock()
+	s.boolMaps = append(s.boolMaps, m)
+	s.mu.Unlock()
+}
+
+func (s *Scratch) getItems(capHint int) []Item {
+	s.mu.Lock()
+	if last := len(s.items) - 1; last >= 0 {
+		b := s.items[last]
+		s.items = s.items[:last]
+		s.mu.Unlock()
+		return b[:0]
+	}
+	s.mu.Unlock()
+	return make([]Item, 0, capHint)
+}
+
+func (s *Scratch) putItems(b []Item) {
+	s.mu.Lock()
+	s.items = append(s.items, b)
+	s.mu.Unlock()
+}
+
+// getF64s returns a length-n float64 buffer whose every element the
+// caller must overwrite before reading (reveal buffers are filled by a
+// full-range shard sweep, so no clear happens here).
+func (s *Scratch) getF64s(n int) []float64 {
+	s.mu.Lock()
+	for i := len(s.f64s) - 1; i >= 0; i-- {
+		if cap(s.f64s[i]) >= n {
+			b := s.f64s[i][:n]
+			last := len(s.f64s) - 1
+			s.f64s[i] = s.f64s[last]
+			s.f64s = s.f64s[:last]
+			s.mu.Unlock()
+			return b
+		}
+	}
+	s.mu.Unlock()
+	return make([]float64, n)
+}
+
+func (s *Scratch) putF64s(b []float64) {
+	s.mu.Lock()
+	s.f64s = append(s.f64s, b)
 	s.mu.Unlock()
 }

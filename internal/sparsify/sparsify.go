@@ -123,21 +123,38 @@ func newConstruction(n, m int, cfg Config) *construction {
 		numLv++
 	}
 	h := xrand.NewPolyHash(xrand.New(cfg.Seed), 2)
-	c := &construction{
-		cfg:   cfg,
-		n:     n,
-		numLv: numLv,
-		levelOf: func(edgeIdx int) int {
-			return h.Level(uint64(edgeIdx)+1, numLv-1)
-		},
-		ufs:    make([][]*unionfind.UF, numLv),
-		stored: make([][]int, numLv),
+	// A retired shell supplies the spines and the stored rows' capacity;
+	// the hash is always rebuilt from the seed, so a pooled construction
+	// computes exactly what a fresh one does.
+	var c *construction
+	if s := cfg.Scratch; s != nil && s.n == n {
+		c = s.getShell()
 	}
+	if c == nil {
+		c = &construction{}
+	}
+	c.cfg = cfg
+	c.n = n
+	c.numLv = numLv
+	c.levelOf = func(edgeIdx int) int {
+		return h.Level(uint64(edgeIdx)+1, numLv-1)
+	}
+	c.ufs = respine(c.ufs, numLv)
+	c.stored = respine(c.stored, numLv)
 	// Forests are allocated lazily: forest j at level i exists only once
 	// some edge was rejected by forests 0..j-1 there. An unallocated
 	// forest is semantically a discrete forest (nothing connected), which
 	// is exactly the state it would be allocated in.
 	return c
+}
+
+// respine sizes a slice-of-slices spine to n rows, keeping surviving
+// rows' backing arrays (retired shells truncate them to length 0).
+func respine[T any](rows [][]T, n int) [][]T {
+	for len(rows) < n {
+		rows = append(rows, nil)
+	}
+	return rows[:n]
 }
 
 // process streams one edge through every level it survives to, inserting
@@ -196,6 +213,22 @@ func (c *construction) release() {
 	}
 }
 
+// retire releases the forests and hands the construction shell itself
+// back to the pool for the next newConstruction. Call only once fully
+// consumed; the construction must not be used afterwards.
+func (c *construction) retire() {
+	c.release()
+	s := c.cfg.Scratch
+	if s == nil || s.n != c.n {
+		return
+	}
+	for i := range c.stored {
+		c.stored[i] = c.stored[i][:0]
+	}
+	c.levelOf = nil
+	s.putShell(c)
+}
+
 // criticalLevel returns i′(e): the smallest level at which the endpoints
 // are not connected in the K-th (last) forest structure, i.e. the level
 // where the edge's connectivity drops below K. ok=false if the endpoints
@@ -237,7 +270,7 @@ func (c *construction) finish(edges []graph.Edge, weightOf func(edgeIdx int) flo
 			if c.levelOf(idx) < ip {
 				continue
 			}
-			prob := math.Pow(0.5, float64(ip))
+			prob := retentionProb(ip)
 			items = append(items, Item{
 				EdgeIdx: idx,
 				Orig:    idx,

@@ -177,6 +177,25 @@ func (s *Solver) Budget() Budget { return s.budget }
 // Algorithm returns the name of the algorithm this Solver runs.
 func (s *Solver) Algorithm() string { return s.algo }
 
+// RetainedWords reports the scratch capacity the Solver's cached session
+// currently retains across solves (sketch pools, forest pools, oracle
+// scratch), in 64-bit words. Retained capacity is process memory kept
+// warm for the next solve — deliberately not part of any run's metered
+// live space, so a Budget{SpaceWords} trips identically on warm and
+// cold sessions. Zero before the first session-cacheable solve.
+func (s *Solver) RetainedWords() int {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	w := 0
+	if s.cache.core != nil {
+		w += s.cache.core.RetainedWords()
+	}
+	if s.cache.eng != nil {
+		w += s.cache.eng.RetainedWords()
+	}
+	return w
+}
+
 // Solve runs the configured algorithm over src — the dual-primal solver
 // by default, or any registry algorithm selected with WithAlgorithm. An
 // algorithm that cannot serve the instance (e.g. hopcroft-karp on a

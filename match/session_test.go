@@ -76,6 +76,31 @@ func TestSolverReuseBitIdenticalOnCorpus(t *testing.T) {
 	}
 }
 
+// TestSolverRetainedWords pins the accessor the E17 table reports: zero
+// before any solve, positive once the cached session has pooled its
+// scratch, and stable in the sense that retained capacity never makes a
+// repeat solve differ (covered by the corpus gate above).
+func TestSolverRetainedWords(t *testing.T) {
+	ctx := context.Background()
+	g := graph.GNM(48, 320, graph.WeightConfig{Mode: graph.UniformWeights, WMax: 25}, 17)
+	solver, err := match.New(match.WithSeed(7), match.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := solver.RetainedWords(); w != 0 {
+		t.Fatalf("RetainedWords before any solve = %d, want 0", w)
+	}
+	if _, err := solver.Solve(ctx, stream.NewEdgeStream(g)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.Solve(ctx, stream.NewEdgeStream(g)); err != nil {
+		t.Fatal(err)
+	}
+	if w := solver.RetainedWords(); w <= 0 {
+		t.Fatalf("RetainedWords after reused solves = %d, want > 0", w)
+	}
+}
+
 // drifted returns g with a fraction of edge weights nudged — the
 // "slowly drifting instance" regime warm starts target. The maximum
 // weight and capacities are preserved (the max-weight edges are never
