@@ -71,17 +71,18 @@ bench-json:
 
 # Bench smoke gate: the newest capture must show no wall-time
 # regressions against the previous one (exit 1 otherwise).
-BENCH_OLD ?= BENCH_pr7.json
-BENCH_NEW ?= BENCH_pr9.json
+BENCH_OLD ?= BENCH_pr9.json
+BENCH_NEW ?= BENCH_pr10.json
 bench-gate:
 	$(GO) run ./cmd/matchbench -compare $(BENCH_OLD) $(BENCH_NEW)
 
 # Allocation-profile smoke: the allocs/op benchmarks for the pooled
-# paths — arena-fed bank builds in internal/sketch and session-reuse
-# solves through the facade — at -benchtime=1x so CI sees the counters
-# without paying a full benchmark run.
+# and allocation-flat paths — arena-fed bank builds and the batched
+# field-update kernel in internal/sketch, session-reuse solves through
+# the facade — at -benchtime=1x so CI sees the counters without paying
+# a full benchmark run.
 bench-allocs:
-	$(GO) test -run='^$$' -bench='BenchmarkBankBuildArena' -benchmem -benchtime=1x ./internal/sketch/
+	$(GO) test -run='^$$' -bench='BenchmarkBankBuildArena|BenchmarkOneSparseUpdate|BenchmarkBankUpdateBlock' -benchmem -benchtime=1x ./internal/sketch/
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./match/
 
 # Profile the two dominant experiments (EA, E14) so the next perf PR

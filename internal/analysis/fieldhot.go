@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// fieldScope is the package subtree where GF(2^61−1) exponentiation is
+// hot: every sketch update computes z^key for a fingerprint base fixed
+// at spec construction, so square-and-multiply (~2·61 mulm per call)
+// belongs in a fixed-base window table (fpPow, ~15 mulm) built once per
+// spec. The field is exact, so the table is bit-identical — the same
+// argument as the powhot pow tables.
+const fieldScope = "repro/internal/sketch"
+
+// FieldHot reports powm calls in internal/sketch, where update and
+// decode paths must go through the spec's fixed-base window table.
+// Reference scalar entry points and varying-base sites (the modular
+// inverse) are justified with //lint:fieldhot.
+var FieldHot = &Analyzer{
+	Name:     "fieldhot",
+	Doc:      "flags powm (square-and-multiply) in internal/sketch, where fixed-base z^e belongs in the spec's fpPow window table (bit-identical, ~15 mulm vs ~120); justify reference or varying-base sites with //lint:fieldhot",
+	Suppress: "fieldhot",
+	Run:      runFieldHot,
+}
+
+func runFieldHot(pass *Pass) error {
+	if p := pass.PkgPath(); p != fieldScope && !strings.HasPrefix(p, fieldScope+"/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "powm" {
+				return true
+			}
+			fn, ok := pass.objectOf(id).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+				return true
+			}
+			pass.Reportf(call.Pos(), "powm in the sketch hot path: a fixed-base z^e belongs in the spec's fpPow window table (bit-identical, built once per spec); justify reference or varying-base sites with //lint:fieldhot")
+			return true
+		})
+	}
+	return nil
+}

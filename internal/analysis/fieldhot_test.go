@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFieldHot(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/sketch/fieldhot", analysis.FieldHot)
+	if len(diags) != 1 {
+		t.Errorf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestFieldHotOutOfScope(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "repro/internal/xrand", analysis.FieldHot)
+	if len(diags) != 0 {
+		t.Errorf("xrand owns the generic field helpers and is out of scope, got: %v", diags)
+	}
+}

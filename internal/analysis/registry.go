@@ -8,6 +8,7 @@ func All() []*Analyzer {
 		MeteredSweep,
 		NoClock,
 		PowHot,
+		FieldHot,
 		ErrWrapBudget,
 	}
 }

@@ -1,0 +1,70 @@
+// fieldhot fixture: square-and-multiply exponentiation is banned in the
+// sketch subtree, where every hot power has a fixed base that belongs
+// in a construction-time window table.
+package fieldhot
+
+const prime = 1<<61 - 1
+
+func mulm(a, b uint64) uint64 { return a * b % prime }
+
+func powm(a, e uint64) uint64 {
+	r := uint64(1)
+	a %= prime
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulm(r, a)
+		}
+		a = mulm(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// table is the fpPow pattern the analyzer pushes toward: entries built
+// with mulm at construction, lookups on the per-update path.
+type table struct{ win [16][16]uint64 }
+
+func newTable(z uint64) *table {
+	t := &table{}
+	base := z % prime
+	for w := range t.win {
+		t.win[w][0] = 1
+		for d := 1; d < 16; d++ {
+			t.win[w][d] = mulm(t.win[w][d-1], base)
+		}
+		base = mulm(t.win[w][15], base)
+	}
+	return t
+}
+
+func (t *table) pow(e uint64) uint64 {
+	r := uint64(1)
+	for w := 0; e != 0; w++ {
+		if d := e & 15; d != 0 {
+			r = mulm(r, t.win[w][d])
+		}
+		e >>= 4
+	}
+	return r
+}
+
+func perUpdateFingerprint(z, key, d uint64) uint64 {
+	return mulm(d, powm(z, key)) // want "powm in the sketch hot path"
+}
+
+func inverse(a uint64) uint64 {
+	//lint:fieldhot the base varies per call; no fixed-base table applies
+	return powm(a, prime-2)
+}
+
+func tableRead(t *table, key, d uint64) uint64 {
+	return mulm(d, t.pow(key)) // the pattern the analyzer pushes toward
+}
+
+type otherPow struct{}
+
+func (otherPow) powm(a, e uint64) uint64 { return a }
+
+func methodIsFine(o otherPow) uint64 {
+	return o.powm(2, 8) // a method named powm, not the package function
+}

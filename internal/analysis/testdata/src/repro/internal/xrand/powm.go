@@ -1,0 +1,24 @@
+package xrand
+
+// powm exists so the fieldhot out-of-scope test has a real call to not
+// flag: xrand owns the generic field helpers and sits outside the
+// analyzer's sketch subtree, so no diagnostic may fire here.
+
+const mersenne61 = 1<<61 - 1
+
+func mulm61(a, b uint64) uint64 { return a * b % mersenne61 }
+
+func powm(a, e uint64) uint64 {
+	r := uint64(1)
+	a %= mersenne61
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulm61(r, a)
+		}
+		a = mulm61(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+func outOfScopeUse(z, key uint64) uint64 { return powm(z, key) }

@@ -62,9 +62,7 @@ func ConnectedComponentsMR(c *Cluster, g *graph.Graph, seed uint64) (*unionfind.
 			if v != lo {
 				sign = -1
 			}
-			for r := 0; r < reps; r++ {
-				rows[r].Update(keyID, sign)
-			}
+			sketch.UpdateRows(rows, keyID, sign)
 		}
 		emit(KV{Key: uint64(v), Value: ccSketch{vertex: v, rows: rows}})
 	}

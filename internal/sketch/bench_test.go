@@ -59,6 +59,48 @@ func BenchmarkBankBuildWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkOneSparseUpdate measures the per-cell update kernel: the
+// legacy scalar path pays a full square-and-multiply powm per cell,
+// the hoisted path one window-table Pow plus the two-mulm updateRaw —
+// even before the Pow amortizes across a sketch's cells (rows × levels
+// share it in real updates). The acceptance bar is ≥ 4x per-cell
+// throughput, and both paths must be allocation-free.
+func BenchmarkOneSparseUpdate(b *testing.B) {
+	z := NewFingerprintBase(xrand.New(7))
+	zp := newFpPow(z)
+	b.Run("legacy-scalar", func(b *testing.B) {
+		cell := NewOneSparse(z)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cell.Update(uint64(i)*2654435761+1, 1)
+		}
+	})
+	b.Run("hoisted-kernel", func(b *testing.B) {
+		cell := NewOneSparse(z)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := uint64(i)*2654435761 + 1
+			cell.updateRaw(key%prime, 1, zp.Pow(key))
+		}
+	})
+}
+
+// BenchmarkBankUpdateBlock measures the bank-level block absorb in the
+// steady state: one bank, blocks of edges inserted through the hoisted
+// kernel. Zero allocs/op — asserted by TestUpdatePathsAllocationFlat
+// and visible in the make bench-allocs CI step.
+func BenchmarkBankUpdateBlock(b *testing.B) {
+	const n = 256
+	edges := ringEdges(n)
+	spec := NewIncidenceSpec(xrand.New(9), n, 6, 12, 8)
+	bank := spec.NewBank()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.AddEdgeBlock(edges)
+	}
+}
+
 func BenchmarkSpanningForest(b *testing.B) {
 	// Build once per iteration: bank construction dominates and is the
 	// realistic cost of the MR pipeline.

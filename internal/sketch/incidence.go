@@ -136,9 +136,27 @@ func (b *Bank) update(u, v int32, delta int64) {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	// Hoist the per-edge invariants: the key reduction and the two field
+	// deltas are shared across every repetition, and within a repetition
+	// the lo and hi endpoint sketches share the fingerprint base, so one
+	// window-table z^key serves both.
+	keyMod := key % prime
+	dLo := toField(delta)
+	dHi := toField(-delta)
 	for r := range b.sketches {
-		b.sketches[r][lo].Update(key, delta)
-		b.sketches[r][hi].Update(key, -delta)
+		zk := b.spec.specs[r].sspec.zpow.Pow(key)
+		b.sketches[r][lo].updateRaw(keyMod, dLo, zk)
+		b.sketches[r][hi].updateRaw(keyMod, dHi, zk)
+	}
+}
+
+// AddEdgeBlock inserts a block of edges — the stream.BlockSweeper
+// granule — into every repetition, one hoisted bank update per edge.
+// Bit-identical to calling AddEdge per edge in order; panics on self
+// loops like AddEdge.
+func (b *Bank) AddEdgeBlock(edges []graph.Edge) {
+	for i := range edges {
+		b.update(edges[i].U, edges[i].V, 1)
 	}
 }
 

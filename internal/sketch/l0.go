@@ -68,11 +68,48 @@ func (s *L0) Words() int {
 	return w
 }
 
-// Update adds delta at key in the implicit vector.
+// Update adds delta at key in the implicit vector. The key reduction,
+// field delta and z^key are computed once and shared by every
+// subsampling level (all levels come from one SSparseSpec, hence one
+// fingerprint base).
 func (s *L0) Update(key uint64, delta int64) {
-	maxLevel := s.spec.levelHash.Level(key, s.spec.levels-1)
+	s.updateRaw(key%prime, toField(delta), s.spec.sspec.zpow.Pow(key))
+}
+
+// UpdateBlock applies a block of updates (keys[i], deltas[i]) in order,
+// hoisting the per-update invariants out of the level and row loops.
+// Bit-identical to calling Update per pair.
+func (s *L0) UpdateBlock(keys []uint64, deltas []int64) {
+	if len(keys) != len(deltas) {
+		panic("sketch: UpdateBlock length mismatch")
+	}
+	zp := s.spec.sspec.zpow
+	for i, key := range keys {
+		s.updateRaw(key%prime, toField(deltas[i]), zp.Pow(key))
+	}
+}
+
+// updateRaw fans one hoisted update out to the surviving subsampling
+// levels.
+func (s *L0) updateRaw(keyMod, d, zPowKey uint64) {
+	maxLevel := s.spec.levelHash.LevelMod(keyMod, s.spec.levels-1)
 	for l := 0; l <= maxLevel; l++ {
-		s.levels[l].Update(key, delta)
+		s.levels[l].updateRaw(keyMod, d, zPowKey)
+	}
+}
+
+// UpdateRows applies one (key, delta) update to every sampler in rows —
+// one per repetition, each from its own spec — hoisting the shared key
+// reduction and field delta across repetitions; each repetition still
+// evaluates z^key under its own base through its window table. This is
+// the multi-repetition entry point of the MapReduce reducers, which
+// maintain a row of samplers per vertex. Bit-identical to updating each
+// row separately.
+func UpdateRows(rows []*L0, key uint64, delta int64) {
+	keyMod := key % prime
+	d := toField(delta)
+	for _, s := range rows {
+		s.updateRaw(keyMod, d, s.spec.sspec.zpow.Pow(key))
 	}
 }
 

@@ -9,7 +9,11 @@
 // opaque uint64 identifiers < 2^61-1 (graph pair keys with n < 2^29 fit).
 package sketch
 
-import "repro/internal/xrand"
+import (
+	"math/bits"
+
+	"repro/internal/xrand"
+)
 
 const prime = xrand.MersennePrime61
 
@@ -39,23 +43,18 @@ func mulm(a, b uint64) uint64 {
 	return r
 }
 
+// mul128 returns the exact 128-bit product of a and b. bits.Mul64
+// compiles to the single MUL instruction; the retired 32-bit-limb
+// schoolbook version lives on as mul128Reference in the tests, which
+// pin exact (hi, lo) equality on boundary operands and under fuzzing.
 func mul128(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	lo = t & mask
-	c := t >> 32
-	t = aHi*bLo + c
-	mid1 := t & mask
-	c1 := t >> 32
-	t = aLo*bHi + mid1
-	lo |= (t & mask) << 32
-	hi = aHi*bHi + c1 + (t >> 32)
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
-// powm computes a^e mod prime.
+// powm computes a^e mod prime by square-and-multiply (~2·61 mulm). It
+// is the scalar reference: hot paths with a fixed base use an fpPow
+// window table instead (bit-identical, see fppow.go), which is what the
+// fieldhot analyzer enforces.
 func powm(a, e uint64) uint64 {
 	r := uint64(1)
 	a %= prime
@@ -71,7 +70,10 @@ func powm(a, e uint64) uint64 {
 
 // invm computes the multiplicative inverse mod prime (prime is prime, so
 // a^(p-2)).
-func invm(a uint64) uint64 { return powm(a, prime-2) }
+func invm(a uint64) uint64 {
+	//lint:fieldhot the base varies per call, so no fixed-base window table applies; cost is per decoded non-zero cell, not per update
+	return powm(a, prime-2)
+}
 
 // toField maps a signed delta into the field.
 func toField(delta int64) uint64 {
@@ -109,11 +111,26 @@ func NewFingerprintBase(r *xrand.RNG) uint64 {
 }
 
 // Update adds delta to the implicit vector at key. Keys must be < 2^61-1.
+//
+// This is the scalar entry point for bare cells, paying a full powm per
+// call; spec-fed paths (SSparse, L0, Bank) hoist key%prime, toField and
+// z^key once per update and fan out through updateRaw. Both paths are
+// bit-identical, pinned by TestUpdateRawMatchesScalar.
 func (c *OneSparse) Update(key uint64, delta int64) {
 	d := toField(delta)
+	//lint:fieldhot scalar reference entry point for bare cells; spec-fed updates hoist z^key through the window table + updateRaw (bit-identity pinned by TestUpdateRawMatchesScalar)
+	c.updateRaw(key%prime, d, powm(c.z, key))
+}
+
+// updateRaw is the hoisted update kernel: the caller has computed
+// keyMod = key % prime, d = toField(delta) and zPowKey = z^key once and
+// shares them across every cell that absorbs the update (all cells of
+// an SSparse row set, all levels of an L0, both endpoint rows of a bank
+// edge). Two mulm and three addm per cell.
+func (c *OneSparse) updateRaw(keyMod, d, zPowKey uint64) {
 	c.sumVal = addm(c.sumVal, d)
-	c.sumKV = addm(c.sumKV, mulm(key%prime, d))
-	c.fingerp = addm(c.fingerp, mulm(d, powm(c.z, key)))
+	c.sumKV = addm(c.sumKV, mulm(keyMod, d))
+	c.fingerp = addm(c.fingerp, mulm(d, zPowKey))
 }
 
 // Merge absorbs another cell (must share the same z).
@@ -140,7 +157,27 @@ func (c *OneSparse) Recover() (key uint64, value int64, ok bool) {
 	}
 	k := mulm(c.sumKV, invm(c.sumVal))
 	// Verify the fingerprint: value·z^k must equal the stored fingerprint.
+	//lint:fieldhot bare-cell decode reference; spec-fed decodes (SSparse.Recover) use recoverFast with the spec's window table, bit-identical
 	if mulm(c.sumVal, powm(c.z, k)) != c.fingerp {
+		return 0, 0, false
+	}
+	v := c.sumVal
+	if v > prime/2 {
+		return k, -int64(prime - v), true
+	}
+	return k, int64(v), true
+}
+
+// recoverFast is Recover with z^k computed through the spec's
+// fixed-base window table instead of square-and-multiply. The field is
+// exact, so the verified fingerprint — and hence the accept/reject
+// decision and the returned pair — is bit-identical to Recover.
+func (c *OneSparse) recoverFast(zp *fpPow) (key uint64, value int64, ok bool) {
+	if c.sumVal == 0 {
+		return 0, 0, false // zero vector, or value-sum cancellation
+	}
+	k := mulm(c.sumKV, invm(c.sumVal))
+	if mulm(c.sumVal, zp.Pow(k)) != c.fingerp {
 		return 0, 0, false
 	}
 	v := c.sumVal

@@ -64,9 +64,7 @@ func (b *Bank) AddEdges(edges []graph.Edge, workers int) {
 	shards := parallel.Shards(b.spec.n, parallel.Workers(workers))
 	if len(shards) <= 1 {
 		// Sequential: skip the bucketing pass entirely.
-		for _, e := range edges {
-			b.AddEdge(e.U, e.V)
-		}
+		b.AddEdgeBlock(edges)
 		return
 	}
 	shardOf := make([]int32, b.spec.n)
@@ -98,15 +96,28 @@ type bankUpd struct {
 	key   uint64
 }
 
-// applyBuckets has each shard's owner apply its own updates in order.
+// applyBuckets has each shard's owner absorb its own updates in order.
 func (b *Bank) applyBuckets(workers int, buckets [][]bankUpd) {
 	parallel.Run(workers, len(buckets), func(si int) {
-		for _, u := range buckets[si] {
-			for r := range b.sketches {
-				b.sketches[r][u.v].Update(u.key, u.delta)
-			}
-		}
+		b.absorb(buckets[si])
 	})
+}
+
+// absorb applies one shard's routed endpoint updates in order through
+// the hoisted kernel: per update the key reduction and field delta are
+// computed once, and each repetition evaluates z^key once through its
+// window table instead of a square-and-multiply per cell. Bit-identical
+// to the per-endpoint L0.Update loop it replaces.
+func (b *Bank) absorb(upds []bankUpd) {
+	for i := range upds {
+		u := &upds[i]
+		keyMod := u.key % prime
+		d := toField(u.delta)
+		for r := range b.sketches {
+			zk := b.spec.specs[r].sspec.zpow.Pow(u.key)
+			b.sketches[r][u.v].updateRaw(keyMod, d, zk)
+		}
+	}
 }
 
 // bankSourceChunk is the staging granule of AddEdgesSource: updates are
@@ -127,11 +138,10 @@ const bankSourceChunk = 1 << 14
 func (b *Bank) AddEdgesSource(src stream.Source, workers int) {
 	shards := parallel.Shards(b.spec.n, parallel.Workers(workers))
 	if len(shards) <= 1 {
-		// Sequential: skip the bucketing pass entirely.
+		// Sequential: ride the backend's native blocks straight into the
+		// bank, skipping the bucketing pass entirely.
 		stream.ForEachBlocks(src, func(_ int, edges []graph.Edge) bool {
-			for i := range edges {
-				b.AddEdge(edges[i].U, edges[i].V)
-			}
+			b.AddEdgeBlock(edges)
 			return true
 		})
 		return

@@ -1,0 +1,55 @@
+package sketch
+
+import "sync"
+
+// recoverAccum is the decode-side accumulator of SSparse.Recover: the
+// (key, value) pairs recovered so far, held key-sorted in two parallel
+// slices. It replaces the per-decode `make(map[uint64]int64)` whose
+// hashing (aeshashbody) led the pr9 CPU profile: a decode holds at
+// most s + O(1) distinct entries, so binary-search insertion with a
+// memmove shift beats hashing, the sorted invariant makes the final
+// key order free (no per-decode sort), and pooling makes the
+// steady-state decode allocation-flat — the same move pr9 made for
+// oracle scratch.
+type recoverAccum struct {
+	keys []uint64
+	vals []int64
+}
+
+// recoverAccums pools accumulators across decodes. Contents never leak
+// between uses (putRecoverAccum truncates), so pooling cannot affect
+// results — Recover stays a pure function of the sketch state.
+var recoverAccums = sync.Pool{New: func() any { return new(recoverAccum) }}
+
+func getRecoverAccum() *recoverAccum { return recoverAccums.Get().(*recoverAccum) }
+
+func putRecoverAccum(a *recoverAccum) {
+	a.keys = a.keys[:0]
+	a.vals = a.vals[:0]
+	recoverAccums.Put(a)
+}
+
+// add records the recovered pair (k, v), keeping keys sorted. conflict
+// reports that k was already recovered with a different value — the
+// not-s-sparse signal. Re-adding an identical pair is a no-op.
+func (a *recoverAccum) add(k uint64, v int64) (conflict bool) {
+	lo, hi := 0, len(a.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.keys) && a.keys[lo] == k {
+		return a.vals[lo] != v
+	}
+	a.keys = append(a.keys, 0)
+	copy(a.keys[lo+1:], a.keys[lo:])
+	a.keys[lo] = k
+	a.vals = append(a.vals, 0)
+	copy(a.vals[lo+1:], a.vals[lo:])
+	a.vals[lo] = v
+	return false
+}

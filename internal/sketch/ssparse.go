@@ -1,10 +1,6 @@
 package sketch
 
-import (
-	"sort"
-
-	"repro/internal/xrand"
-)
+import "repro/internal/xrand"
 
 // SSparseSpec fixes the shared randomness (bucket hash functions and the
 // fingerprint base) for a family of mergeable s-sparse sketches. Two
@@ -15,6 +11,7 @@ type SSparseSpec struct {
 	buckets int // buckets per row (2s)
 	hashes  []*xrand.PolyHash
 	z       uint64
+	zpow    *fpPow // fixed-base window table for z (fppow.go)
 }
 
 // NewSSparseSpec creates a spec for recovering vectors with at most s
@@ -32,6 +29,7 @@ func NewSSparseSpec(r *xrand.RNG, s, rows int) *SSparseSpec {
 		buckets: 2 * s,
 		z:       NewFingerprintBase(r),
 	}
+	spec.zpow = newFpPow(spec.z)
 	for i := 0; i < rows; i++ {
 		spec.hashes = append(spec.hashes, xrand.NewPolyHash(r.Split(uint64(i)), 2))
 	}
@@ -66,12 +64,34 @@ func (sk *SSparse) Reset() {
 	}
 }
 
-// Update adds delta at key.
+// Update adds delta at key: the per-(key, delta) invariants — the key
+// reduction, the field delta and z^key — are computed once and shared
+// by every row's cell through updateRaw.
 func (sk *SSparse) Update(key uint64, delta int64) {
+	sk.updateRaw(key%prime, toField(delta), sk.spec.zpow.Pow(key))
+}
+
+// UpdateBlock applies a block of updates (keys[i], deltas[i]) in order,
+// hoisting the per-update invariants out of the row loop. Bit-identical
+// to calling Update per pair.
+func (sk *SSparse) UpdateBlock(keys []uint64, deltas []int64) {
+	if len(keys) != len(deltas) {
+		panic("sketch: UpdateBlock length mismatch")
+	}
+	zp := sk.spec.zpow
+	for i, key := range keys {
+		sk.updateRaw(key%prime, toField(deltas[i]), zp.Pow(key))
+	}
+}
+
+// updateRaw fans one hoisted update out to every row: the degree-1 row
+// hash a0 + a1·x picks the bucket and the cell kernel absorbs the
+// precomputed (keyMod, d, zPowKey) triple.
+func (sk *SSparse) updateRaw(keyMod, d, zPowKey uint64) {
 	spec := sk.spec
 	for row := 0; row < spec.rows; row++ {
-		b := spec.hashes[row].HashRange(key, spec.buckets)
-		sk.cells[row*spec.buckets+b].Update(key, delta)
+		b := spec.hashes[row].HashRangeMod(keyMod, spec.buckets)
+		sk.cells[row*spec.buckets+b].updateRaw(keyMod, d, zPowKey)
 	}
 }
 
@@ -98,7 +118,8 @@ func (sk *SSparse) Clone() *SSparse {
 // use independent verification where needed. Entries are sorted by key.
 func (sk *SSparse) Recover() (keys []uint64, values []int64, ok bool) {
 	spec := sk.spec
-	found := make(map[uint64]int64)
+	acc := getRecoverAccum()
+	defer putRecoverAccum(acc)
 	corrupt := false
 	for row := 0; row < spec.rows; row++ {
 		for b := 0; b < spec.buckets; b++ {
@@ -106,21 +127,20 @@ func (sk *SSparse) Recover() (keys []uint64, values []int64, ok bool) {
 			if cell.IsZero() {
 				continue
 			}
-			k, v, cok := cell.Recover()
+			k, v, cok := cell.recoverFast(spec.zpow)
 			if !cok {
 				corrupt = true // bucket holds >= 2 colliding keys
 				continue
 			}
-			if prev, seen := found[k]; seen && prev != v {
+			if acc.add(k, v) {
 				return nil, nil, false // inconsistent recovery: not s-sparse
 			}
-			found[k] = v
 		}
 	}
-	if len(found) == 0 {
+	if len(acc.keys) == 0 {
 		return nil, nil, !corrupt // all-zero only if no bucket was corrupt
 	}
-	if len(found) > spec.s {
+	if len(acc.keys) > spec.s {
 		return nil, nil, false
 	}
 	// Verify: replay the recovered entries through fresh cells and compare
@@ -128,9 +148,8 @@ func (sk *SSparse) Recover() (keys []uint64, values []int64, ok bool) {
 	// in all rows.
 	if corrupt {
 		check := spec.NewSSparse()
-		//lint:ordered replay into fresh cells; Update is add/XOR, commutative
-		for k, v := range found {
-			check.Update(k, v)
+		for i, k := range acc.keys {
+			check.Update(k, acc.vals[i])
 		}
 		for i := range sk.cells {
 			if sk.cells[i] != check.cells[i] {
@@ -138,15 +157,7 @@ func (sk *SSparse) Recover() (keys []uint64, values []int64, ok bool) {
 			}
 		}
 	}
-	keys = make([]uint64, 0, len(found))
-	//lint:ordered key collection, sorted immediately below
-	for k := range found {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	values = make([]int64, len(keys))
-	for i, k := range keys {
-		values[i] = found[k]
-	}
+	keys = append([]uint64(nil), acc.keys...)
+	values = append([]int64(nil), acc.vals...)
 	return keys, values, true
 }

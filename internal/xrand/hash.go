@@ -1,5 +1,7 @@
 package xrand
 
+import "math/bits"
+
 // k-wise independent hash families via polynomial evaluation over the
 // Mersenne prime p = 2^61 - 1. For sketching we need limited-independence
 // guarantees (pairwise for subsampling levels, 2k-wise for s-sparse
@@ -59,20 +61,37 @@ func addmod61(a, b uint64) uint64 {
 
 // Hash evaluates the polynomial at x (reduced into the field first).
 func (h *PolyHash) Hash(x uint64) uint64 {
-	x = x % MersennePrime61
+	return h.HashMod(x % MersennePrime61)
+}
+
+// HashMod evaluates the polynomial at an already-reduced point
+// xMod < 2^61-1 — for callers that reduce a key once and share it
+// across many hash evaluations (the sketch update kernel). Bit-identical
+// to Hash(x) when xMod = x % MersennePrime61. The pairwise (k=2) case —
+// every row and level hash in the sketch substrate — is straight-line
+// a0 + a1·x, which Horner's loop computes identically.
+func (h *PolyHash) HashMod(xMod uint64) uint64 {
+	if len(h.coef) == 2 {
+		return addmod61(mulmod61(h.coef[1], xMod), h.coef[0])
+	}
 	acc := uint64(0)
 	for i := len(h.coef) - 1; i >= 0; i-- {
-		acc = addmod61(mulmod61(acc, x), h.coef[i])
+		acc = addmod61(mulmod61(acc, xMod), h.coef[i])
 	}
 	return acc
 }
 
 // HashRange maps x to [0, n) with at most one part in 2^61 of bias.
 func (h *PolyHash) HashRange(x uint64, n int) int {
+	return h.HashRangeMod(x%MersennePrime61, n)
+}
+
+// HashRangeMod is HashRange at an already-reduced point (see HashMod).
+func (h *PolyHash) HashRangeMod(xMod uint64, n int) int {
 	if n <= 0 {
 		panic("xrand: HashRange with non-positive n")
 	}
-	return int(h.Hash(x) % uint64(n))
+	return int(h.HashMod(xMod) % uint64(n))
 }
 
 // HashFloat maps x to a uniform-ish float64 in [0,1).
@@ -86,11 +105,19 @@ func (h *PolyHash) HashFloat(x uint64) float64 {
 // for the geometric edge-subsampling G_0 ⊇ G_1 ⊇ ... in sparsifier and
 // L0-sampler constructions. The result is capped at max.
 func (h *PolyHash) Level(x uint64, max int) int {
-	v := h.Hash(x)
-	l := 0
-	for l < max && v&1 == 1 {
-		v >>= 1
-		l++
+	return h.LevelMod(x%MersennePrime61, max)
+}
+
+// LevelMod is Level at an already-reduced point (see HashMod). The
+// leading-success count is the number of trailing one bits of the hash,
+// capped at max — identical to the bit-walk loop it replaces.
+func (h *PolyHash) LevelMod(xMod uint64, max int) int {
+	if max < 0 {
+		max = 0
+	}
+	l := bits.TrailingZeros64(^h.HashMod(xMod))
+	if l > max {
+		l = max
 	}
 	return l
 }

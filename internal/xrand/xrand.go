@@ -9,7 +9,10 @@
 // child with a strongly mixed function of the parent stream.
 package xrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitmix64 advances the state and returns the next output.
 func splitmix64(state *uint64) uint64 {
@@ -161,19 +164,10 @@ func (z *Zipfian) Draw(r *RNG) int {
 	return lo + 1
 }
 
-// mul128 returns the 128-bit product of a and b as (hi, lo).
+// mul128 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// compiles to the single MUL instruction; the retired 32-bit-limb
+// schoolbook version lives on as mul128Reference in the tests, which
+// pin exact (hi, lo) equality on boundary operands and under fuzzing.
 func mul128(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	lo = t & mask
-	c := t >> 32
-	t = aHi*bLo + c
-	mid1 := t & mask
-	c1 := t >> 32
-	t = aLo*bHi + mid1
-	lo |= (t & mask) << 32
-	hi = aHi*bHi + c1 + (t >> 32)
-	return hi, lo
+	return bits.Mul64(a, b)
 }
